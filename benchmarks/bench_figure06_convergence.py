@@ -1,0 +1,40 @@
+"""Figure 6 — relation extraction validation MAP vs fine-tuning steps:
+TURL (pre-trained init) converges faster than the BERT-style baseline."""
+
+import numpy as np
+
+
+def _ascii_curve(steps, turl_values, bert_values, width=50):
+    lines = [f"{'step':>6s}  {'TURL':>6s}  {'BERT':>6s}   curve (T=TURL, B=BERT)"]
+    for step, turl, bert in zip(steps, turl_values, bert_values):
+        t = int(turl * width)
+        b = int(bert * width)
+        bar = [" "] * (width + 1)
+        bar[min(b, width)] = "B"
+        bar[min(t, width)] = "T" if t != b else "*"
+        lines.append(f"{step:6d}  {turl:6.3f}  {bert:6.3f}   |{''.join(bar)}|")
+    return "\n".join(lines)
+
+
+def test_figure06_convergence(relation_setup, report, benchmark):
+    turl_history = relation_setup["turl_history"]
+    bert_history = relation_setup["bert_history"]
+    steps = turl_history["map_steps"]
+    turl_map = turl_history["map_values"]
+    bert_map = bert_history["map_values"]
+    n = min(len(turl_map), len(bert_map))
+    steps, turl_map, bert_map = steps[:n], turl_map[:n], bert_map[:n]
+    assert n >= 3, "need at least three MAP measurements for a curve"
+
+    benchmark.pedantic(relation_setup["turl"].validation_map,
+                       args=(relation_setup["dataset"],),
+                       kwargs={"max_instances": 30}, rounds=1, iterations=1)
+
+    report("Figure 6: validation MAP during relation-extraction fine-tuning",
+           _ascii_curve(steps, turl_map, bert_map))
+
+    # Paper shape: TURL dominates early training (better initialization) and
+    # its early-step MAP is already near its final value.
+    early = slice(0, max(1, n // 2))
+    assert np.mean(turl_map[early]) > np.mean(bert_map[early])
+    assert turl_map[0] > bert_map[0]

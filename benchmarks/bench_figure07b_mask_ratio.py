@@ -1,0 +1,30 @@
+"""Figure 7b — ablation: MER mask ratio {0.2, 0.4, 0.6, 0.8} vs the
+object-entity-prediction probe."""
+
+from _ablation import format_curves, run_ablation_pretraining
+
+RATIOS = (0.2, 0.4, 0.6, 0.8)
+
+
+def test_figure07b_mer_mask_ratio(bench_context, report, benchmark):
+    stats = {}
+    for ratio in RATIOS:
+        if ratio == 0.6:
+            stats[ratio] = benchmark.pedantic(
+                run_ablation_pretraining, args=(bench_context,),
+                kwargs={"mer_probability": ratio}, rounds=1, iterations=1)
+        else:
+            stats[ratio] = run_ablation_pretraining(bench_context,
+                                                    mer_probability=ratio)
+
+    report("Figure 7b: MER mask-ratio ablation",
+           format_curves([(f"mask ratio {r}", stats[r]) for r in RATIOS]))
+
+    final = {ratio: stats[ratio].final_accuracy for ratio in RATIOS}
+    # Paper shape: mid ratios (0.4/0.6) dominate the extremes; 0.8 drops
+    # because the model sees too little relational evidence, 0.2 undertrains
+    # the entity objective.  Results are "not sensitive" per the paper, so we
+    # assert the envelope rather than a strict ordering.
+    best_mid = max(final[0.4], final[0.6])
+    assert best_mid >= final[0.8] - 0.02
+    assert best_mid >= final[0.2] - 0.02

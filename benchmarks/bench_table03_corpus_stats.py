@@ -1,0 +1,20 @@
+"""Table 3 — pre-training corpus statistics (rows / entity columns / entities
+per table, by split)."""
+
+from repro.data.statistics import corpus_statistics, format_statistics, splits_statistics
+
+
+def test_table03_corpus_statistics(bench_context, report, benchmark):
+    splits = bench_context.splits
+    stats = benchmark.pedantic(splits_statistics, args=(splits,),
+                               rounds=1, iterations=1)
+    report("Table 3: pre-training corpus statistics", format_statistics(stats))
+
+    # Shape checks mirroring the paper: moderate-size tables (median around
+    # 8-12 rows, 2-4 entity columns), held-out splits at least as rich as
+    # train (they are filtered for quality).
+    assert 4 <= stats["train"]["n_row"]["median"] <= 16
+    assert 2 <= stats["train"]["n_ent_columns"]["median"] <= 4
+    for split in ("dev", "test"):
+        assert stats[split]["n_ent_columns"]["min"] >= 3
+        assert stats[split]["n_ent"]["median"] >= stats["train"]["n_ent"]["median"]

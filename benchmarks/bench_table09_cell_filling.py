@@ -1,0 +1,43 @@
+"""Table 9 — cell filling P@K: Exact / H2H / H2V vs TURL (no fine-tuning)."""
+
+from repro.baselines.cell_filling import ExactRanker, H2HRanker, H2VRanker
+
+
+def test_table09_cell_filling(bench_context, filling_setup, report, benchmark):
+    instances = filling_setup["instances"]
+    statistics = filling_setup["statistics"]
+    candidates = filling_setup["candidates"]
+    turl = filling_setup["turl"]
+
+    recall, avg_size = candidates.recall(instances)
+    recall_unfiltered, avg_unfiltered = candidates.recall(instances,
+                                                          filter_related=False)
+
+    rows = {}
+    rows["Exact"] = ExactRanker().evaluate_precision_at(instances, candidates)
+    rows["H2H"] = H2HRanker(statistics).evaluate_precision_at(instances, candidates)
+    rows["H2V"] = H2VRanker(bench_context.splits.train).evaluate_precision_at(
+        instances, candidates)
+    rows["TURL"] = benchmark.pedantic(
+        turl.evaluate_precision_at, args=(instances, candidates),
+        rounds=1, iterations=1)
+
+    lines = [
+        f"candidate finding: recall {100 * recall:.2f}% "
+        f"(avg {avg_size:.1f} candidates; unfiltered {100 * recall_unfiltered:.2f}% "
+        f"/ {avg_unfiltered:.1f})",
+        "",
+        f"{'Method':10s}{'P@1':>8s}{'P@3':>8s}{'P@5':>8s}{'P@10':>8s}",
+    ]
+    for name, per_k in rows.items():
+        lines.append(f"{name:10s}" + "".join(f"{100 * per_k[k]:8.2f}"
+                                             for k in (1, 3, 5, 10)))
+    report("Table 9: cell filling", "\n".join(lines))
+
+    # Paper shape: exact match is a decent baseline; H2H/H2V roughly match or
+    # slightly improve it; TURL is best at P@1 without any fine-tuning.
+    assert rows["TURL"][1] >= rows["Exact"][1]
+    assert rows["TURL"][1] >= rows["H2H"][1]
+    assert rows["TURL"][1] >= rows["H2V"][1]
+    for per_k in rows.values():
+        assert per_k[10] >= per_k[1]

@@ -1,0 +1,68 @@
+"""Inspecting what pre-training learned: attention, embeddings, corpus.
+
+    python examples/analysis_walkthrough.py
+"""
+
+from repro.analysis import (
+    attention_map,
+    entity_neighbors,
+    profile_corpus,
+    relation_offset_consistency,
+    render_attention,
+    render_profile,
+    type_clustering_score,
+)
+from repro.analysis.attention import element_labels
+from repro.config import TURLConfig
+from repro.core.context import build_context
+from repro.data.synthesis import SynthesisConfig
+from repro.kb.generator import WorldConfig
+
+
+def main() -> None:
+    context = build_context(
+        world_config=WorldConfig(seed=1),
+        synthesis_config=SynthesisConfig(seed=2, n_tables=300),
+        model_config=TURLConfig(),
+        pretrain_epochs=10,
+    )
+
+    # --- corpus profile ------------------------------------------------
+    print("=== corpus profile (train split) ===")
+    print(render_profile(profile_corpus(context.splits.train)))
+
+    # --- attention inspection ---------------------------------------------
+    table = next((t for t in context.splits.train if t.section_title == "Recipients"),
+                 context.splits.train[0])
+    print(f"\n=== attention for {table.caption_text()!r} ===")
+    weights, instance = attention_map(context.model, context.linearizer, table,
+                                      layer=0)
+    labels = element_labels(instance, context.linearizer)
+    # Inspect the first entity cell (after the topic entity).
+    query = instance.n_tokens + 1
+    print(render_attention(weights, labels, query=query, head=0, top_k=6))
+
+    # --- embedding space --------------------------------------------------
+    print("\n=== entity embedding space ===")
+    club = context.kb.entities_of_type("sports_club")[0]
+    if club in context.entity_vocab:
+        neighbors = entity_neighbors(context.model, context.entity_vocab, club, k=5)
+        club_name = context.kb.get(club).name
+        print(f"nearest neighbors of {club_name!r}:")
+        for entity_id, score in neighbors:
+            name = (context.kb.get(entity_id).name
+                    if entity_id in context.kb else entity_id)
+            print(f"  {score:6.3f}  {name}")
+
+    types = ["citytown", "country", "film", "sports_club", "person"]
+    score = type_clustering_score(context.model, context.entity_vocab,
+                                  context.kb, types)
+    print(f"\ntype clustering score (intra − inter cosine): {score:.3f}")
+    for relation in ("city.country", "film.director"):
+        consistency = relation_offset_consistency(
+            context.model, context.entity_vocab, context.kb, relation)
+        print(f"relation offset consistency {relation:16s}: {consistency:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""TURL: Table Understanding through Representation Learning — reproduction.
+
+A from-scratch, pure-NumPy reproduction of Deng et al., VLDB 2020: the
+structure-aware Transformer encoder for relational Web tables, Masked Entity
+Recovery pre-training, and the six-task TUBE benchmark, together with every
+substrate the paper depends on (autograd, tokenizer, knowledge base, table
+corpus, retrieval, baselines).
+
+Quick start::
+
+    from repro import build_context, TURLConfig, WorldConfig, SynthesisConfig
+
+    context = build_context(WorldConfig(seed=1),
+                            SynthesisConfig(seed=2, n_tables=300),
+                            TURLConfig(), pretrain_epochs=8)
+
+See ``examples/`` for complete workflows and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.config import TURLConfig
+from repro.core.context import TURLContext, build_context
+from repro.core.model import TURLModel
+from repro.data.synthesis import SynthesisConfig
+from repro.kb.generator import WorldConfig, generate_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TURLConfig",
+    "TURLContext",
+    "TURLModel",
+    "build_context",
+    "SynthesisConfig",
+    "WorldConfig",
+    "generate_world",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analysis and introspection tools.
+
+Utilities for understanding what a pre-trained model learned:
+
+- :mod:`repro.analysis.attention` — extract and render per-head attention
+  distributions for a table, visibility-mask aware;
+- :mod:`repro.analysis.embeddings` — entity-embedding space diagnostics:
+  nearest neighbors, type clustering quality, relation offset consistency;
+- :mod:`repro.analysis.corpus_profile` — corpus composition reports (genre
+  mix, entity frequency curves, link density).
+"""
+
+from repro.analysis.attention import attention_map, render_attention
+from repro.analysis.embeddings import (
+    entity_neighbors,
+    relation_offset_consistency,
+    type_clustering_score,
+)
+from repro.analysis.corpus_profile import profile_corpus, render_profile
+from repro.analysis.errors import (
+    linking_error_breakdown,
+    per_genre_breakdown,
+    render_genre_breakdown,
+)
+
+__all__ = [
+    "linking_error_breakdown",
+    "per_genre_breakdown",
+    "render_genre_breakdown",
+    "attention_map",
+    "render_attention",
+    "entity_neighbors",
+    "type_clustering_score",
+    "relation_offset_consistency",
+    "profile_corpus",
+    "render_profile",
+]

@@ -1,0 +1,83 @@
+"""Attention extraction and text rendering.
+
+The encoder's attention layers are re-run functionally on a table to obtain
+per-head attention weight matrices, honoring the visibility mask — useful
+for checking that e.g. a masked award-winner cell attends to its ceremony
+and film neighbors rather than unrelated cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batching import collate
+from repro.core.linearize import Linearizer, TableInstance
+from repro.core.model import TURLModel
+from repro.data.table import Table
+from repro.nn import Tensor, no_grad
+from repro.nn.attention import MASKED_LOGIT
+
+
+def _layer_attention(model: TURLModel, layer_index: int, hidden: Tensor,
+                     visibility: np.ndarray) -> np.ndarray:
+    """(heads, L, L) softmax attention weights of one layer."""
+    attention = model.encoder.blocks[layer_index].attention
+    batch, length, _ = hidden.shape
+    q = attention._split_heads(attention.query(hidden), batch, length).data
+    k = attention._split_heads(attention.key(hidden), batch, length).data
+    logits = (q @ np.swapaxes(k, -1, -2)) / np.sqrt(attention.head_dim)
+    mask = visibility[:, None, :, :]
+    logits = np.where(mask, logits, logits + MASKED_LOGIT)
+    logits -= logits.max(axis=-1, keepdims=True)
+    weights = np.exp(logits)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    return weights[0]
+
+
+def attention_map(model: TURLModel, linearizer: Linearizer, table: Table,
+                  layer: int = 0) -> Tuple[np.ndarray, TableInstance]:
+    """Attention weights ``(heads, L, L)`` of ``layer`` for ``table``.
+
+    Also returns the :class:`TableInstance` so callers can label positions.
+    """
+    if not 0 <= layer < len(model.encoder.blocks):
+        raise IndexError(f"layer {layer} out of range")
+    instance = linearizer.encode(table)
+    batch = collate([instance])
+    model.eval()
+    with no_grad():
+        hidden = model.embedding(batch)
+        visibility = batch["visibility"]
+        for i in range(layer):
+            hidden = model.encoder.blocks[i](hidden, visibility)
+        weights = _layer_attention(model, layer, hidden, visibility)
+    return weights, instance
+
+
+def element_labels(instance: TableInstance, linearizer: Linearizer) -> List[str]:
+    """Short human-readable labels for every sequence position."""
+    labels = []
+    for token_id in instance.token_ids:
+        labels.append(linearizer.tokenizer.vocab.token_of(int(token_id)))
+    for i in range(instance.n_entities):
+        row, col = instance.entity_row[i], instance.entity_col[i]
+        if row < 0:
+            labels.append("[topic]")
+        else:
+            labels.append(f"[e r{row}c{col}]")
+    return labels
+
+
+def render_attention(weights: np.ndarray, labels: List[str],
+                     query: int, head: int = 0, top_k: int = 8) -> str:
+    """Text rendering of one query position's strongest attention targets."""
+    row = weights[head, query]
+    order = np.argsort(-row)[:top_k]
+    lines = [f"query {query} ({labels[query]}), head {head}:"]
+    for position in order:
+        weight = row[int(position)]
+        bar = "#" * int(round(weight * 40))
+        lines.append(f"  {labels[int(position)]:>14s} {weight:6.3f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Entity-embedding space diagnostics.
+
+Three probes of what MER pre-training wrote into the entity table:
+
+- :func:`entity_neighbors` — nearest neighbors by cosine, for qualitative
+  inspection ("who is closest to this club?");
+- :func:`type_clustering_score` — a silhouette-style measure of how well
+  entity types separate in embedding space (higher = cleaner clusters);
+- :func:`relation_offset_consistency` — word2vec-style relational structure:
+  how parallel are the offsets ``object - subject`` across pairs of the same
+  relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import TURLModel
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.text.vocab import SPECIAL_TOKENS, Vocabulary
+
+_FIRST_REAL_ID = len(SPECIAL_TOKENS)
+
+
+def _normalized_table(model: TURLModel) -> np.ndarray:
+    table = model.embedding.entity.weight.data
+    norms = np.linalg.norm(table, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return table / norms
+
+
+def entity_neighbors(model: TURLModel, entity_vocab: Vocabulary,
+                     entity_id: str, k: int = 5) -> List[Tuple[str, float]]:
+    """Top-``k`` nearest entities by cosine similarity (excluding self)."""
+    index = entity_vocab.id_of(entity_id)
+    if index < _FIRST_REAL_ID:
+        return []
+    table = _normalized_table(model)
+    scores = table @ table[index]
+    order = np.argsort(-scores)
+    results = []
+    for candidate in order:
+        candidate = int(candidate)
+        if candidate == index or candidate < _FIRST_REAL_ID:
+            continue
+        results.append((entity_vocab.token_of(candidate), float(scores[candidate])))
+        if len(results) == k:
+            break
+    return results
+
+
+def type_clustering_score(model: TURLModel, entity_vocab: Vocabulary,
+                          kb: KnowledgeBase, type_names: Sequence[str],
+                          max_per_type: int = 60, seed: int = 0) -> float:
+    """Mean (intra-type cosine − inter-type cosine); positive = types cluster.
+
+    A crude but monotone analogue of the silhouette coefficient that is
+    cheap enough to run inside tests.
+    """
+    rng = np.random.default_rng(seed)
+    table = _normalized_table(model)
+    groups: Dict[str, np.ndarray] = {}
+    for type_name in type_names:
+        ids = [entity_vocab.id_of(e) for e in kb.entities_of_type(type_name)]
+        ids = [i for i in ids if i >= _FIRST_REAL_ID]
+        if len(ids) < 3:
+            continue
+        if len(ids) > max_per_type:
+            chosen = rng.choice(len(ids), size=max_per_type, replace=False)
+            ids = [ids[int(i)] for i in chosen]
+        groups[type_name] = table[np.asarray(ids)]
+    if len(groups) < 2:
+        return 0.0
+
+    def mean_cosine(a: np.ndarray, b: np.ndarray, same: bool) -> float:
+        sims = a @ b.T
+        if same:
+            n = len(a)
+            mask = ~np.eye(n, dtype=bool)
+            return float(sims[mask].mean())
+        return float(sims.mean())
+
+    names = sorted(groups)
+    intra = np.mean([mean_cosine(groups[n], groups[n], True) for n in names])
+    inter_values = []
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            inter_values.append(mean_cosine(groups[a], groups[b], False))
+    return float(intra - np.mean(inter_values))
+
+
+def relation_offset_consistency(model: TURLModel, entity_vocab: Vocabulary,
+                                kb: KnowledgeBase, relation: str,
+                                max_pairs: int = 100, seed: int = 0) -> float:
+    """Mean pairwise cosine between ``object − subject`` offsets of a
+    relation's fact pairs; near 1 would indicate word2vec-like parallel
+    structure, near 0 none."""
+    rng = np.random.default_rng(seed)
+    table = model.embedding.entity.weight.data
+    offsets = []
+    facts = kb.facts_of_relation(relation)
+    if len(facts) > max_pairs:
+        chosen = rng.choice(len(facts), size=max_pairs, replace=False)
+        facts = [facts[int(i)] for i in chosen]
+    for fact in facts:
+        s = entity_vocab.id_of(fact.subject)
+        o = entity_vocab.id_of(fact.object)
+        if s < _FIRST_REAL_ID or o < _FIRST_REAL_ID:
+            continue
+        offset = table[o] - table[s]
+        norm = np.linalg.norm(offset)
+        if norm > 0:
+            offsets.append(offset / norm)
+    if len(offsets) < 2:
+        return 0.0
+    matrix = np.stack(offsets)
+    sims = matrix @ matrix.T
+    mask = ~np.eye(len(matrix), dtype=bool)
+    return float(sims[mask].mean())

@@ -1,0 +1,119 @@
+"""Task error analysis.
+
+Helpers for understanding *where* a model fails rather than just how often:
+
+- :func:`linking_error_breakdown` — entity-linking mistakes categorized as
+  candidate-generation misses vs disambiguation errors, with confusion
+  pairs (what the model picked instead of what);
+- :func:`per_genre_breakdown` — any per-instance metric aggregated by table
+  genre (section title), the axis along which synthetic-corpus performance
+  actually varies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.tasks.entity_linking import LinkingInstance
+
+
+@dataclass
+class LinkingErrorReport:
+    """Categorized entity-linking outcomes."""
+
+    n_instances: int
+    correct: int
+    no_candidates: int
+    truth_missing_from_candidates: int
+    disambiguation_errors: int
+    confusion_pairs: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def disambiguation_accuracy(self) -> float:
+        """Accuracy among instances whose truth survived candidate
+        generation (the paper's 89.62 % headline on WikiGS)."""
+        solvable = self.n_instances - self.no_candidates \
+            - self.truth_missing_from_candidates
+        return self.correct / solvable if solvable else 0.0
+
+    def render(self, kb: Optional[KnowledgeBase] = None, top: int = 5) -> str:
+        def name(entity_id: str) -> str:
+            if kb is not None and entity_id in kb:
+                return kb.get(entity_id).name
+            return entity_id
+
+        lines = [
+            f"instances                 : {self.n_instances}",
+            f"correct                   : {self.correct}",
+            f"no candidates             : {self.no_candidates}",
+            f"truth missing (gen. miss) : {self.truth_missing_from_candidates}",
+            f"disambiguation errors     : {self.disambiguation_errors}",
+            f"disambiguation accuracy   : {self.disambiguation_accuracy:.4f}",
+        ]
+        if self.confusion_pairs:
+            lines.append("top confusions (truth -> predicted):")
+            for truth, predicted, count in self.confusion_pairs[:top]:
+                lines.append(f"  {name(truth)} -> {name(predicted)}  x{count}")
+        return "\n".join(lines)
+
+
+def linking_error_breakdown(predictions: Sequence[Optional[str]],
+                            instances: Sequence[LinkingInstance]) -> LinkingErrorReport:
+    """Categorize each prediction outcome."""
+    if len(predictions) != len(instances):
+        raise ValueError("predictions and instances must align")
+    correct = no_candidates = missing = errors = 0
+    confusions: Counter = Counter()
+    for predicted, instance in zip(predictions, instances):
+        if not instance.candidates:
+            no_candidates += 1
+            continue
+        if not instance.truth_in_candidates:
+            missing += 1
+            continue
+        if predicted == instance.true_id:
+            correct += 1
+        else:
+            errors += 1
+            if predicted is not None:
+                confusions[(instance.true_id, predicted)] += 1
+    pairs = [(t, p, c) for (t, p), c in confusions.most_common()]
+    return LinkingErrorReport(
+        n_instances=len(instances),
+        correct=correct,
+        no_candidates=no_candidates,
+        truth_missing_from_candidates=missing,
+        disambiguation_errors=errors,
+        confusion_pairs=pairs,
+    )
+
+
+def per_genre_breakdown(instances: Sequence, scores: Sequence[float],
+                        genre_of: Callable = None) -> Dict[str, Tuple[float, int]]:
+    """Aggregate per-instance scores by table genre.
+
+    ``genre_of`` extracts the genre from an instance; by default the
+    instance is expected to expose ``.table.section_title``.  Returns
+    ``genre -> (mean score, count)``.
+    """
+    if len(instances) != len(scores):
+        raise ValueError("instances and scores must align")
+    if genre_of is None:
+        def genre_of(instance):
+            return instance.table.section_title
+
+    buckets: Dict[str, List[float]] = defaultdict(list)
+    for instance, score in zip(instances, scores):
+        buckets[genre_of(instance)].append(score)
+    return {genre: (sum(values) / len(values), len(values))
+            for genre, values in sorted(buckets.items())}
+
+
+def render_genre_breakdown(breakdown: Dict[str, Tuple[float, int]]) -> str:
+    lines = [f"{'genre':24s}{'mean':>8s}{'n':>6s}"]
+    for genre, (mean, count) in sorted(breakdown.items(), key=lambda kv: kv[1][0]):
+        lines.append(f"{genre or '(none)':24s}{mean:8.3f}{count:6d}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Baseline systems the paper compares against (Table 2).
+
+Every comparator is implemented from scratch:
+
+- :mod:`repro.baselines.lookup_linker` — the Wikidata Lookup baseline and
+  its Oracle bound;
+- :mod:`repro.baselines.t2k` — T2K-style iterative schema+entity matching;
+- :mod:`repro.baselines.hybrid` — Hybrid II-style lookup + entity-embedding
+  disambiguation;
+- :mod:`repro.baselines.sherlock` — Sherlock-style feature-based column type
+  prediction (character distributions, statistics, embeddings → MLP);
+- :mod:`repro.baselines.bert_re` — the "BERT-based" text-only relation
+  extractor (metadata as a sentence, headers as mentions);
+- :mod:`repro.baselines.entitables` — EntiTables generative row population
+  and the tf-idf kNN schema augmentation;
+- :mod:`repro.baselines.table2vec` — Table2Vec fixed-embedding ranking;
+- :mod:`repro.baselines.cell_filling` — Exact / H2H / H2V value ranking.
+"""
+
+from repro.baselines.lookup_linker import LookupLinker
+from repro.baselines.t2k import T2KLinker
+from repro.baselines.hybrid import HybridLinker
+from repro.baselines.sherlock import SherlockModel, column_features
+from repro.baselines.bert_re import BertStyleRelationExtractor
+from repro.baselines.entitables import EntiTablesRowPopulator, KNNSchemaAugmenter
+from repro.baselines.table2vec import Table2VecRowPopulator, train_entity_embeddings
+from repro.baselines.cell_filling import ExactRanker, H2HRanker, H2VRanker
+
+__all__ = [
+    "LookupLinker",
+    "T2KLinker",
+    "HybridLinker",
+    "SherlockModel",
+    "column_features",
+    "BertStyleRelationExtractor",
+    "EntiTablesRowPopulator",
+    "KNNSchemaAugmenter",
+    "Table2VecRowPopulator",
+    "train_entity_embeddings",
+    "ExactRanker",
+    "H2HRanker",
+    "H2VRanker",
+]

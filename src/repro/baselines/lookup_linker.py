@@ -1,0 +1,23 @@
+"""The plain lookup baseline for entity linking.
+
+"Wikidata Lookup" in the paper: take the candidate service's top-ranked
+result as the prediction, with no disambiguation model at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.tasks.entity_linking import LinkingInstance, evaluate_linking
+from repro.tasks.metrics import PrecisionRecallF1
+
+
+class LookupLinker:
+    """Predicts each mention's top lookup candidate."""
+
+    def predict(self, instances: Sequence[LinkingInstance]) -> List[Optional[str]]:
+        return [instance.candidates[0] if instance.candidates else None
+                for instance in instances]
+
+    def evaluate(self, instances: Sequence[LinkingInstance]) -> PrecisionRecallF1:
+        return evaluate_linking(self.predict(instances), instances)

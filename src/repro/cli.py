@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli world --seed 1                   # generate + describe a world
+    python -m repro.cli corpus --tables 300 --out c.jsonl
+    python -m repro.cli pretrain --tables 300 --epochs 8 --out ckpt/
+    python -m repro.cli probe --checkpoint ckpt/ --tables 300
+    python -m repro.cli registry                         # experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    from repro.kb.generator import WorldConfig, generate_world
+
+    config = WorldConfig(seed=args.seed).scaled(args.scale)
+    kb = generate_world(config)
+    print(f"entities : {len(kb)}")
+    print(f"facts    : {len(kb.facts)}")
+    by_type = {}
+    for entity in kb.entities.values():
+        for type_name in entity.types:
+            by_type[type_name] = by_type.get(type_name, 0) + 1
+    for type_name in sorted(by_type):
+        print(f"  {type_name:16s} {by_type[type_name]}")
+    if args.out:
+        kb.save(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.data.preprocessing import filter_relational, partition_corpus
+    from repro.data.statistics import format_statistics, splits_statistics
+    from repro.data.synthesis import SynthesisConfig, build_corpus
+    from repro.kb.generator import WorldConfig, generate_world
+
+    kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
+    corpus = filter_relational(build_corpus(
+        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+    splits = partition_corpus(corpus, seed=args.seed)
+    print(f"tables: {len(corpus)} (train/dev/test = {splits.sizes})")
+    print(format_statistics(splits_statistics(splits)))
+    if args.out:
+        corpus.save_jsonl(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    from repro.config import TURLConfig
+    from repro.core.context import build_context
+    from repro.core.pretrain import save_checkpoint
+    from repro.data.synthesis import SynthesisConfig
+    from repro.kb.generator import WorldConfig
+
+    context = build_context(
+        WorldConfig(seed=args.seed).scaled(args.scale),
+        SynthesisConfig(seed=args.seed + 1, n_tables=args.tables),
+        TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed)
+    stats = context.pretrain_stats
+    print(f"steps: {len(stats.losses)}  final loss: {stats.losses[-1]:.3f}")
+    save_checkpoint(args.out, context.model, context.tokenizer,
+                    context.entity_vocab)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.core.candidates import CandidateBuilder
+    from repro.core.linearize import Linearizer
+    from repro.core.pretrain import Pretrainer, load_checkpoint
+    from repro.data.preprocessing import filter_relational, partition_corpus
+    from repro.data.synthesis import SynthesisConfig, build_corpus
+    from repro.kb.generator import WorldConfig, generate_world
+
+    model, tokenizer, entity_vocab = load_checkpoint(args.checkpoint)
+    kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
+    corpus = filter_relational(build_corpus(
+        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+    splits = partition_corpus(corpus, seed=args.seed)
+    linearizer = Linearizer(tokenizer, entity_vocab, model.config)
+    builder = CandidateBuilder(splits.train, entity_vocab, model.config)
+    pretrainer = Pretrainer(model, [], builder, model.config)
+    instances = [linearizer.encode(t) for t in splits.validation.tables[:args.max_tables]]
+    accuracy = pretrainer.evaluate_object_prediction(instances)
+    print(f"object-entity recovery accuracy: {accuracy:.3f}")
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.evaluation.registry import format_registry
+
+    print(format_registry())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="TURL reproduction CLI")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    world = commands.add_parser("world", help="generate a synthetic world")
+    world.add_argument("--seed", type=int, default=1)
+    world.add_argument("--scale", type=float, default=1.0)
+    world.add_argument("--out", default=None)
+    world.set_defaults(handler=_cmd_world)
+
+    corpus = commands.add_parser("corpus", help="synthesize a table corpus")
+    corpus.add_argument("--seed", type=int, default=1)
+    corpus.add_argument("--scale", type=float, default=1.0)
+    corpus.add_argument("--tables", type=int, default=300)
+    corpus.add_argument("--out", default=None)
+    corpus.set_defaults(handler=_cmd_corpus)
+
+    pretrain = commands.add_parser("pretrain", help="pre-train a TURL model")
+    pretrain.add_argument("--seed", type=int, default=1)
+    pretrain.add_argument("--scale", type=float, default=1.0)
+    pretrain.add_argument("--tables", type=int, default=300)
+    pretrain.add_argument("--epochs", type=int, default=8)
+    pretrain.add_argument("--out", required=True)
+    pretrain.set_defaults(handler=_cmd_pretrain)
+
+    probe = commands.add_parser("probe", help="run the recovery probe")
+    probe.add_argument("--checkpoint", required=True)
+    probe.add_argument("--seed", type=int, default=1)
+    probe.add_argument("--scale", type=float, default=1.0)
+    probe.add_argument("--tables", type=int, default=300)
+    probe.add_argument("--max-tables", type=int, default=25)
+    probe.set_defaults(handler=_cmd_probe)
+
+    registry = commands.add_parser("registry", help="print the experiment index")
+    registry.set_defaults(handler=_cmd_registry)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

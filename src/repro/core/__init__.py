@@ -1,0 +1,32 @@
+"""TURL core: the paper's primary contribution.
+
+- :mod:`repro.core.linearize` — table → token/entity sequence (Figure 3);
+- :mod:`repro.core.visibility` — the structure visibility matrix (Section 4.3);
+- :mod:`repro.core.embedding` — input embeddings for tokens and entity cells
+  (Section 4.2, Eqns. 1–3);
+- :mod:`repro.core.model` — the structure-aware encoder with MLM/MER
+  projection heads (Figure 2);
+- :mod:`repro.core.masking` — MLM and MER masking policies (Section 4.4);
+- :mod:`repro.core.candidates` — MER candidate-set construction;
+- :mod:`repro.core.pretrain` — the pre-training loop and the object-entity
+  prediction probe used by the Figure 7 ablations.
+"""
+
+from repro.core.linearize import TableInstance, Linearizer
+from repro.core.visibility import build_visibility
+from repro.core.model import TURLModel
+from repro.core.masking import MaskingPolicy, MaskedInstance
+from repro.core.candidates import CandidateBuilder
+from repro.core.pretrain import Pretrainer, PretrainStats
+
+__all__ = [
+    "TableInstance",
+    "Linearizer",
+    "build_visibility",
+    "TURLModel",
+    "MaskingPolicy",
+    "MaskedInstance",
+    "CandidateBuilder",
+    "Pretrainer",
+    "PretrainStats",
+]

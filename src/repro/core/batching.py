@@ -1,0 +1,101 @@
+"""Batching: padding a list of :class:`TableInstance` into dense arrays.
+
+Padding is made inert through the visibility matrix — pad elements are
+invisible to every real element, so their (meaningless) hidden states can
+never contaminate real positions — and through boolean masks that exclude
+pads from every loss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.linearize import TableInstance
+from repro.core.visibility import build_visibility
+from repro.text.vocab import PAD_ID
+
+
+def collate(instances: Sequence[TableInstance]) -> Dict[str, np.ndarray]:
+    """Pad ``instances`` into a single batch dictionary.
+
+    Keys: ``token_ids / token_kind / token_col / token_pos / token_mask``
+    (``(B, Lt)``), ``entity_ids / entity_type / entity_row / entity_col /
+    entity_mask`` (``(B, Le)``), ``mention_ids`` (``(B, Le, Lm)``) and
+    ``visibility`` (``(B, L, L)`` with ``L = Lt + Le``).
+    """
+    if not instances:
+        raise ValueError("cannot collate an empty batch")
+    batch_size = len(instances)
+    max_tokens = max(instance.n_tokens for instance in instances)
+    max_entities = max(instance.n_entities for instance in instances)
+    mention_width = instances[0].mention_ids.shape[1] if max_entities else 0
+
+    token_ids = np.full((batch_size, max_tokens), PAD_ID, dtype=np.int64)
+    token_kind = np.zeros((batch_size, max_tokens), dtype=np.int64)
+    token_col = np.full((batch_size, max_tokens), -1, dtype=np.int64)
+    token_pos = np.zeros((batch_size, max_tokens), dtype=np.int64)
+    token_mask = np.zeros((batch_size, max_tokens), dtype=bool)
+
+    entity_ids = np.full((batch_size, max_entities), PAD_ID, dtype=np.int64)
+    entity_type = np.zeros((batch_size, max_entities), dtype=np.int64)
+    entity_row = np.full((batch_size, max_entities), -1, dtype=np.int64)
+    entity_col = np.full((batch_size, max_entities), -1, dtype=np.int64)
+    entity_mask = np.zeros((batch_size, max_entities), dtype=bool)
+    mention_ids = np.full((batch_size, max_entities, mention_width), PAD_ID, dtype=np.int64)
+
+    length = max_tokens + max_entities
+    visibility = np.zeros((batch_size, length, length), dtype=bool)
+
+    for i, instance in enumerate(instances):
+        nt, ne = instance.n_tokens, instance.n_entities
+        token_ids[i, :nt] = instance.token_ids
+        token_kind[i, :nt] = instance.token_kind
+        token_col[i, :nt] = instance.token_col
+        token_pos[i, :nt] = instance.token_pos
+        token_mask[i, :nt] = True
+
+        entity_ids[i, :ne] = instance.entity_ids
+        entity_type[i, :ne] = instance.entity_type
+        entity_row[i, :ne] = instance.entity_row
+        entity_col[i, :ne] = instance.entity_col
+        entity_mask[i, :ne] = True
+        if ne:
+            mention_ids[i, :ne] = instance.mention_ids
+
+        local = build_visibility(instance)  # (nt+ne, nt+ne)
+        # Scatter into padded coordinates: tokens at [0, nt), entities at
+        # [max_tokens, max_tokens+ne).
+        index = np.concatenate([np.arange(nt), max_tokens + np.arange(ne)])
+        visibility[i][np.ix_(index, index)] = local
+        # Pad positions must attend somewhere for a well-defined softmax; let
+        # every pad see itself (outputs are discarded via the masks anyway).
+        diagonal = np.arange(length)
+        visibility[i, diagonal, diagonal] = True
+
+    return {
+        "token_ids": token_ids,
+        "token_kind": token_kind,
+        "token_col": token_col,
+        "token_pos": token_pos,
+        "token_mask": token_mask,
+        "entity_ids": entity_ids,
+        "entity_type": entity_type,
+        "entity_row": entity_row,
+        "entity_col": entity_col,
+        "entity_mask": entity_mask,
+        "mention_ids": mention_ids,
+        "visibility": visibility,
+    }
+
+
+def batches_of(instances: List[TableInstance], batch_size: int,
+               rng: np.random.Generator = None):
+    """Yield collated batches, optionally shuffling instance order."""
+    order = np.arange(len(instances))
+    if rng is not None:
+        order = rng.permutation(len(instances))
+    for start in range(0, len(instances), batch_size):
+        chunk = [instances[int(i)] for i in order[start:start + batch_size]]
+        yield collate(chunk)

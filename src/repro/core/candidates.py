@@ -1,0 +1,91 @@
+"""MER candidate-set construction (paper Section 4.4).
+
+Ranking over the full 926 K entity vocabulary is infeasible, so the paper
+ranks masked entities against a candidate set combining (1) entities in the
+current table, (2) entities that co-occur with those in the table corpus,
+and (3) randomly sampled negatives.  :class:`CandidateBuilder` precomputes a
+co-occurrence index over the training corpus and assembles per-batch
+candidate arrays plus remapped labels.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.core.masking import IGNORE
+from repro.data.corpus import TableCorpus
+from repro.text.vocab import SPECIAL_TOKENS, Vocabulary
+
+_FIRST_REAL_ID = len(SPECIAL_TOKENS)
+
+
+class CandidateBuilder:
+    """Builds candidate entity sets for MER training and evaluation."""
+
+    def __init__(self, corpus: TableCorpus, entity_vocab: Vocabulary,
+                 config: TURLConfig = TURLConfig(), max_cooccurrences: int = 200):
+        self.entity_vocab = entity_vocab
+        self.config = config
+        self.cooccurrence: Dict[int, Set[int]] = defaultdict(set)
+        for table in corpus:
+            vocab_ids = {
+                entity_vocab.id_of(entity_id)
+                for entity_id in table.linked_entities()
+            }
+            vocab_ids = {v for v in vocab_ids if v >= _FIRST_REAL_ID}
+            for vocab_id in vocab_ids:
+                bucket = self.cooccurrence[vocab_id]
+                if len(bucket) < max_cooccurrences:
+                    bucket |= vocab_ids - {vocab_id}
+
+    def build(self, batch_entity_ids: np.ndarray, mer_labels: np.ndarray,
+              rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the candidate array and remap labels onto it.
+
+        Returns ``(candidate_ids, remapped_labels)`` where
+        ``candidate_ids`` has shape ``(C,)`` (entity-vocabulary ids) and
+        ``remapped_labels`` matches ``mer_labels``'s shape with candidate
+        indexes (or ``IGNORE``).
+        """
+        config = self.config
+        true_ids = set(int(v) for v in mer_labels[mer_labels != IGNORE])
+        table_ids = set(int(v) for v in batch_entity_ids.reshape(-1)
+                        if v >= _FIRST_REAL_ID)
+        candidates: Set[int] = true_ids | table_ids
+
+        cooccurring: Set[int] = set()
+        for vocab_id in table_ids | true_ids:
+            cooccurring |= self.cooccurrence.get(vocab_id, set())
+        cooccurring -= candidates
+        if cooccurring:
+            pool = np.fromiter(cooccurring, dtype=np.int64)
+            take = min(len(pool), config.n_cooccurrence_candidates)
+            chosen = rng.choice(len(pool), size=take, replace=False)
+            candidates |= {int(pool[int(i)]) for i in chosen}
+
+        n_random = config.n_random_negatives
+        if n_random and len(self.entity_vocab) > _FIRST_REAL_ID:
+            negatives = rng.integers(_FIRST_REAL_ID, len(self.entity_vocab),
+                                     size=n_random)
+            candidates |= {int(v) for v in negatives}
+
+        ordered = sorted(candidates)
+        if len(ordered) > config.max_candidates:
+            # Never drop true ids; trim from the non-true remainder.
+            keep = sorted(true_ids)
+            others = [v for v in ordered if v not in true_ids]
+            chosen = rng.choice(len(others),
+                                size=max(0, config.max_candidates - len(keep)),
+                                replace=False)
+            ordered = sorted(keep + [others[int(i)] for i in chosen])
+
+        candidate_ids = np.asarray(ordered, dtype=np.int64)
+        position = {vocab_id: index for index, vocab_id in enumerate(ordered)}
+        remapped = np.full(mer_labels.shape, IGNORE, dtype=np.int64)
+        selected = mer_labels != IGNORE
+        remapped[selected] = [position[int(v)] for v in mer_labels[selected]]
+        return candidate_ids, remapped

@@ -1,0 +1,106 @@
+"""End-to-end pipeline context.
+
+:class:`TURLContext` bundles every artifact the downstream tasks need — the
+knowledge base, corpus splits, tokenizer, entity vocabulary, linearizer and
+the (optionally pre-trained) model — and :func:`build_context` constructs the
+whole pipeline from two config objects, mirroring the paper's Section 5 + 4.4
+procedure: synthesize corpus → identify relational tables → partition →
+build vocabularies → pre-train.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.core.candidates import CandidateBuilder
+from repro.core.linearize import Linearizer, TableInstance
+from repro.core.model import TURLModel
+from repro.core.pretrain import Pretrainer, PretrainStats
+from repro.data.corpus import CorpusSplits, TableCorpus
+from repro.data.preprocessing import filter_relational, partition_corpus
+from repro.data.synthesis import SynthesisConfig, build_corpus
+from repro.kb.generator import WorldConfig, generate_world
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import EntityVocabulary
+
+
+@dataclass
+class TURLContext:
+    """Everything needed to fine-tune / evaluate on downstream tasks."""
+
+    kb: KnowledgeBase
+    splits: CorpusSplits
+    tokenizer: WordPieceTokenizer
+    entity_vocab: EntityVocabulary
+    config: TURLConfig
+    model: TURLModel
+    linearizer: Linearizer
+    candidate_builder: CandidateBuilder
+    pretrain_stats: Optional[PretrainStats] = None
+
+    def instances_for(self, corpus: TableCorpus) -> List[TableInstance]:
+        return [self.linearizer.encode(table) for table in corpus]
+
+    def clone_model(self, seed: int = 0) -> TURLModel:
+        """A fresh model with the pre-trained weights copied in — the
+        starting point for each fine-tuning run, so tasks never disturb the
+        shared pre-trained parameters."""
+        clone = TURLModel(self.model.vocab_size, self.model.entity_vocab_size,
+                          self.config, seed=seed)
+        clone.load_state_dict(self.model.state_dict())
+        return clone
+
+    def fresh_model(self, seed: int = 0) -> TURLModel:
+        """A randomly initialized model (the "w/o pre-training" ablations)."""
+        return TURLModel(self.model.vocab_size, self.model.entity_vocab_size,
+                         self.config, seed=seed)
+
+
+def build_context(world_config: WorldConfig = WorldConfig(),
+                  synthesis_config: SynthesisConfig = SynthesisConfig(),
+                  model_config: TURLConfig = TURLConfig(),
+                  pretrain_epochs: int = 3,
+                  vocab_size: int = 4000,
+                  entity_min_frequency: int = 2,
+                  seed: int = 0) -> TURLContext:
+    """Build the full pipeline: world → corpus → vocabularies → pre-training.
+
+    Set ``pretrain_epochs=0`` to skip pre-training (random initialization).
+    """
+    kb = generate_world(world_config)
+    corpus = filter_relational(build_corpus(kb, synthesis_config))
+    splits = partition_corpus(corpus, seed=seed)
+
+    tokenizer = WordPieceTokenizer.train(splits.train.metadata_texts(),
+                                         vocab_size=vocab_size)
+    entity_vocab = EntityVocabulary.build_from_counts(
+        splits.train.entity_counts(), min_frequency=entity_min_frequency)
+
+    model = TURLModel(len(tokenizer.vocab), len(entity_vocab), model_config,
+                      seed=seed)
+    linearizer = Linearizer(tokenizer, entity_vocab, model_config)
+    candidate_builder = CandidateBuilder(splits.train, entity_vocab, model_config)
+
+    stats = None
+    if pretrain_epochs > 0:
+        instances = [linearizer.encode(table) for table in splits.train]
+        pretrainer = Pretrainer(model, instances, candidate_builder,
+                                model_config, seed=seed)
+        stats = pretrainer.train(n_epochs=pretrain_epochs)
+
+    return TURLContext(
+        kb=kb,
+        splits=splits,
+        tokenizer=tokenizer,
+        entity_vocab=entity_vocab,
+        config=model_config,
+        model=model,
+        linearizer=linearizer,
+        candidate_builder=candidate_builder,
+        pretrain_stats=stats,
+    )

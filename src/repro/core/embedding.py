@@ -1,0 +1,82 @@
+"""Input embeddings (paper Section 4.2).
+
+Tokens: ``x_t = w + t + p`` — word + type (caption/header) + position
+(Eqn. 1).  Entity cells: ``x_e = LINEAR([e_e; e_m]) + t_e`` where ``e_m`` is
+the average word embedding of the mention tokens (Eqns. 2–3) and ``t_e``
+distinguishes topic / subject / object cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.nn import Dropout, Embedding, LayerNorm, Linear, Module, Tensor, concat
+from repro.text.vocab import MASK_ID, PAD_ID
+
+
+class TableEmbedding(Module):
+    """Embeds the token and entity parts of a linearized table batch."""
+
+    def __init__(self, vocab_size: int, entity_vocab_size: int,
+                 config: TURLConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        dim = config.dim
+        self.word = Embedding(vocab_size, dim, rng)
+        self.position = Embedding(max(config.max_caption_tokens,
+                                      config.max_header_tokens), dim, rng)
+        self.token_type = Embedding(2, dim, rng)  # 0 caption, 1 header
+        self.entity = Embedding(entity_vocab_size, dim, rng)
+        self.entity_type = Embedding(3, dim, rng)  # topic/subject/object
+        self.fuse = Linear(2 * dim, dim, rng)
+        self.norm = LayerNorm(dim)
+        self.dropout = Dropout(config.dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    # -- pieces ------------------------------------------------------------
+    def token_embeddings(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        """(B, Lt, d) input embeddings for metadata tokens (Eqn. 1)."""
+        words = self.word(batch["token_ids"])
+        types = self.token_type(np.clip(batch["token_kind"], 0, 1))
+        positions = self.position(batch["token_pos"])
+        return words + types + positions
+
+    def mention_embeddings(self, mention_ids: np.ndarray,
+                           mention_masked: np.ndarray) -> Tensor:
+        """(B, Le, d) mean word embedding of mention tokens (Eqn. 3).
+
+        ``mention_masked`` marks cells whose mention is hidden by MER; those
+        receive the [MASK] word embedding instead of their true mention.
+        """
+        batch, length, width = mention_ids.shape
+        effective = mention_ids.copy()
+        # Replace the first slot of masked mentions by [MASK], rest by PAD.
+        effective[mention_masked] = PAD_ID
+        effective[mention_masked, 0] = MASK_ID
+
+        token_vectors = self.word(effective)  # (B, Le, Lm, d)
+        valid = (effective != PAD_ID).astype(np.float64)  # (B, Le, Lm)
+        counts = np.maximum(valid.sum(axis=-1, keepdims=True), 1.0)
+        weights = Tensor(valid[..., None] / counts[..., None])
+        return (token_vectors * weights).sum(axis=2)
+
+    def entity_embeddings(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        """(B, Le, d) entity-cell input embeddings (Eqn. 2)."""
+        entity_vectors = self.entity(batch["entity_ids"])
+        mention_masked = batch.get(
+            "mention_masked",
+            np.zeros(batch["entity_ids"].shape, dtype=bool))
+        mention_vectors = self.mention_embeddings(batch["mention_ids"], mention_masked)
+        fused = self.fuse(concat([entity_vectors, mention_vectors], axis=-1))
+        types = self.entity_type(batch["entity_type"])
+        return fused + types
+
+    # -- combined -----------------------------------------------------------
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        """(B, L, d) embeddings for the full element sequence."""
+        tokens = self.token_embeddings(batch)
+        entities = self.entity_embeddings(batch)
+        combined = concat([tokens, entities], axis=1)
+        return self.dropout(self.norm(combined))

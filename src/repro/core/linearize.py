@@ -1,0 +1,188 @@
+"""Table linearization (paper Figure 3).
+
+A table is converted into a sequence of *elements*: caption tokens, header
+tokens, then entity cells scanned row by row (topic entity first).  Text
+columns contribute their header tokens only — like the paper, cell content
+enters the model solely through entity cells and metadata.
+
+The result is a :class:`TableInstance`: flat NumPy arrays describing each
+element's kind, row, column and position, ready for embedding, visibility
+construction and masking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.data.table import Table
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import MASK_ID, PAD_ID, Vocabulary
+
+# Element kinds (shared with repro.core.visibility).
+KIND_CAPTION = 0
+KIND_HEADER = 1
+KIND_TOPIC = 2
+KIND_CELL = 3
+
+# Entity cell types for the type embedding t_e (Section 4.2).
+ETYPE_TOPIC = 0
+ETYPE_SUBJECT = 1
+ETYPE_OBJECT = 2
+
+
+@dataclass
+class TableInstance:
+    """A linearized table.
+
+    Token arrays have length ``Lt``; entity arrays have length ``Le``.
+    ``mention_ids`` is padded with ``PAD_ID`` to ``(Le, max_mention_tokens)``.
+    ``entity_kb_ids`` keeps original KB ids (``None`` for unlinked cells) so
+    downstream tasks can build labels without re-reading the table.
+    """
+
+    table_id: str
+    token_ids: np.ndarray
+    token_kind: np.ndarray   # KIND_CAPTION or KIND_HEADER
+    token_col: np.ndarray    # -1 for caption tokens
+    token_pos: np.ndarray    # position within its segment
+
+    entity_ids: np.ndarray   # entity-vocabulary ids
+    entity_kind: np.ndarray  # KIND_TOPIC or KIND_CELL
+    entity_row: np.ndarray   # -1 for the topic entity
+    entity_col: np.ndarray   # -1 for the topic entity
+    entity_type: np.ndarray  # ETYPE_*
+    mention_ids: np.ndarray  # (Le, max_mention_tokens), PAD_ID padded
+    entity_kb_ids: List[Optional[str]] = field(default_factory=list)
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.token_ids)
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.entity_ids)
+
+    @property
+    def length(self) -> int:
+        return self.n_tokens + self.n_entities
+
+    def element_kinds(self) -> np.ndarray:
+        return np.concatenate([self.token_kind, self.entity_kind])
+
+    def element_rows(self) -> np.ndarray:
+        return np.concatenate([np.full(self.n_tokens, -1, dtype=np.int64), self.entity_row])
+
+    def element_cols(self) -> np.ndarray:
+        return np.concatenate([self.token_col, self.entity_col])
+
+
+class Linearizer:
+    """Converts :class:`Table` objects into :class:`TableInstance` arrays."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer, entity_vocab: Vocabulary,
+                 config: TURLConfig = TURLConfig()):
+        self.tokenizer = tokenizer
+        self.entity_vocab = entity_vocab
+        self.config = config
+
+    def _mention_ids(self, mention: str) -> np.ndarray:
+        ids = self.tokenizer.encode(mention, max_length=self.config.max_mention_tokens)
+        padded = np.full(self.config.max_mention_tokens, PAD_ID, dtype=np.int64)
+        padded[: len(ids)] = ids
+        return padded
+
+    def encode(self, table: Table,
+               extra_entity_slots: int = 0) -> TableInstance:
+        """Linearize ``table``.
+
+        ``extra_entity_slots`` appends that many [MASK] entity placeholders
+        at the end (used by row population / schema augmentation / cell
+        filling fine-tuning, which rank candidates from a [MASK] position).
+        """
+        config = self.config
+        token_ids: List[int] = []
+        token_kind: List[int] = []
+        token_col: List[int] = []
+        token_pos: List[int] = []
+
+        caption_ids = self.tokenizer.encode(table.caption_text(),
+                                            max_length=config.max_caption_tokens)
+        token_ids.extend(caption_ids)
+        token_kind.extend([KIND_CAPTION] * len(caption_ids))
+        token_col.extend([-1] * len(caption_ids))
+        token_pos.extend(range(len(caption_ids)))
+
+        n_columns = min(table.n_columns, config.max_columns)
+        for col in range(n_columns):
+            header_ids = self.tokenizer.encode(table.columns[col].header,
+                                               max_length=config.max_header_tokens)
+            token_ids.extend(header_ids)
+            token_kind.extend([KIND_HEADER] * len(header_ids))
+            token_col.extend([col] * len(header_ids))
+            token_pos.extend(range(len(header_ids)))
+
+        entity_ids: List[int] = []
+        entity_kind: List[int] = []
+        entity_row: List[int] = []
+        entity_col: List[int] = []
+        entity_type: List[int] = []
+        mention_rows: List[np.ndarray] = []
+        kb_ids: List[Optional[str]] = []
+
+        if table.topic_entity is not None:
+            entity_ids.append(self.entity_vocab.id_of(table.topic_entity))
+            entity_kind.append(KIND_TOPIC)
+            entity_row.append(-1)
+            entity_col.append(-1)
+            entity_type.append(ETYPE_TOPIC)
+            topic_name = ""
+            mention_rows.append(self._mention_ids(topic_name))
+            kb_ids.append(table.topic_entity)
+
+        entity_columns = [c for c in table.entity_columns() if c < n_columns]
+        n_rows = min(table.n_rows, config.max_rows)
+        for row in range(n_rows):
+            for col in entity_columns:
+                cell = table.columns[col].cells[row]
+                if cell.entity_id is not None:
+                    entity_ids.append(self.entity_vocab.id_of(cell.entity_id))
+                else:
+                    entity_ids.append(PAD_ID)  # no entity embedding; mention only
+                entity_kind.append(KIND_CELL)
+                entity_row.append(row)
+                entity_col.append(col)
+                entity_type.append(ETYPE_SUBJECT if col == table.subject_column
+                                   else ETYPE_OBJECT)
+                mention_rows.append(self._mention_ids(cell.mention))
+                kb_ids.append(cell.entity_id)
+
+        for _ in range(extra_entity_slots):
+            entity_ids.append(MASK_ID)
+            entity_kind.append(KIND_CELL)
+            entity_row.append(n_rows)  # a fresh row below the table
+            entity_col.append(table.subject_column)
+            entity_type.append(ETYPE_SUBJECT)
+            mention_rows.append(np.full(config.max_mention_tokens, PAD_ID, dtype=np.int64))
+            kb_ids.append(None)
+
+        mention_ids = (np.stack(mention_rows)
+                       if mention_rows
+                       else np.zeros((0, config.max_mention_tokens), dtype=np.int64))
+        return TableInstance(
+            table_id=table.table_id,
+            token_ids=np.asarray(token_ids, dtype=np.int64),
+            token_kind=np.asarray(token_kind, dtype=np.int64),
+            token_col=np.asarray(token_col, dtype=np.int64),
+            token_pos=np.asarray(token_pos, dtype=np.int64),
+            entity_ids=np.asarray(entity_ids, dtype=np.int64),
+            entity_kind=np.asarray(entity_kind, dtype=np.int64),
+            entity_row=np.asarray(entity_row, dtype=np.int64),
+            entity_col=np.asarray(entity_col, dtype=np.int64),
+            entity_type=np.asarray(entity_type, dtype=np.int64),
+            mention_ids=mention_ids,
+            entity_kb_ids=kb_ids,
+        )

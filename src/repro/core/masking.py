@@ -1,0 +1,126 @@
+"""MLM and MER masking policies (paper Section 4.4).
+
+Masking operates on a collated batch (vectorized across the whole batch) and
+returns a modified copy plus label arrays:
+
+- **MLM** selects 20 % of real metadata tokens; of those 80 % become
+  ``[MASK]``, 10 % a random token, 10 % stay unchanged (Example 4.2).
+- **MER** selects 60 % of linked entity cells; of those 10 % stay fully
+  intact, 63 % have both entity embedding and mention masked, and 27 % keep
+  the mention while the entity embedding is masked — with 10 % of that last
+  group receiving a *random* entity embedding as injected noise
+  (Example 4.3).
+
+Labels hold original vocabulary ids at selected positions and ``IGNORE``
+elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.core.linearize import ETYPE_TOPIC
+from repro.text.vocab import MASK_ID, PAD_ID, SPECIAL_TOKENS, UNK_ID
+
+IGNORE = -100
+_FIRST_REAL_ID = len(SPECIAL_TOKENS)
+
+
+@dataclass
+class MaskedInstance:
+    """A masked batch: modified inputs plus MLM/MER label arrays."""
+
+    batch: Dict[str, np.ndarray]
+    mlm_labels: np.ndarray  # (B, Lt), token ids or IGNORE
+    mer_labels: np.ndarray  # (B, Le), entity-vocabulary ids or IGNORE
+
+    @property
+    def n_mlm(self) -> int:
+        return int((self.mlm_labels != IGNORE).sum())
+
+    @property
+    def n_mer(self) -> int:
+        return int((self.mer_labels != IGNORE).sum())
+
+
+class MaskingPolicy:
+    """Applies the paper's masking mechanisms to collated batches."""
+
+    def __init__(self, config: TURLConfig, vocab_size: int, entity_vocab_size: int):
+        self.config = config
+        self.vocab_size = vocab_size
+        self.entity_vocab_size = entity_vocab_size
+
+    # -- MLM ------------------------------------------------------------
+    def _apply_mlm(self, batch: Dict[str, np.ndarray],
+                   rng: np.random.Generator) -> np.ndarray:
+        config = self.config
+        token_ids = batch["token_ids"]
+        eligible = batch["token_mask"] & (token_ids != PAD_ID) & (token_ids != UNK_ID)
+        selected = eligible & (rng.random(token_ids.shape) < config.mlm_probability)
+
+        labels = np.where(selected, token_ids, IGNORE)
+        action = rng.random(token_ids.shape)
+        to_mask = selected & (action < config.mlm_mask_fraction)
+        to_random = selected & (action >= config.mlm_mask_fraction) & (
+            action < config.mlm_mask_fraction + config.mlm_random_fraction)
+
+        new_ids = token_ids.copy()
+        new_ids[to_mask] = MASK_ID
+        if to_random.any():
+            new_ids[to_random] = rng.integers(
+                _FIRST_REAL_ID, self.vocab_size, size=int(to_random.sum()))
+        batch["token_ids"] = new_ids
+        return labels
+
+    # -- MER --------------------------------------------------------------
+    def _apply_mer(self, batch: Dict[str, np.ndarray],
+                   rng: np.random.Generator) -> np.ndarray:
+        config = self.config
+        entity_ids = batch["entity_ids"]
+        eligible = (
+            batch["entity_mask"]
+            & (entity_ids != PAD_ID)
+            & (entity_ids != UNK_ID)
+            & (entity_ids != MASK_ID)
+            & (batch["entity_type"] != ETYPE_TOPIC)
+        )
+        selected = eligible & (rng.random(entity_ids.shape) < config.mer_probability)
+        labels = np.where(selected, entity_ids, IGNORE)
+
+        action = rng.random(entity_ids.shape)
+        keep = selected & (action < config.mer_keep_fraction)
+        rest = selected & ~keep
+        sub_action = rng.random(entity_ids.shape)
+        full_mask = rest & (sub_action < config.mer_full_mask_fraction)
+        mention_kept = rest & ~full_mask
+
+        noise_action = rng.random(entity_ids.shape)
+        random_entity = mention_kept & (noise_action < config.mer_random_entity_fraction)
+        entity_masked = (full_mask | mention_kept) & ~random_entity
+
+        new_ids = entity_ids.copy()
+        new_ids[entity_masked] = MASK_ID
+        if random_entity.any():
+            new_ids[random_entity] = rng.integers(
+                _FIRST_REAL_ID, self.entity_vocab_size, size=int(random_entity.sum()))
+        batch["entity_ids"] = new_ids
+
+        mention_masked = batch.get(
+            "mention_masked", np.zeros(entity_ids.shape, dtype=bool)).copy()
+        mention_masked |= full_mask
+        batch["mention_masked"] = mention_masked
+        return labels
+
+    # -- public API --------------------------------------------------------
+    def apply(self, batch: Dict[str, np.ndarray],
+              rng: np.random.Generator) -> MaskedInstance:
+        """Mask a collated batch; the input dict is not modified."""
+        masked = {key: value.copy() for key, value in batch.items()}
+        mlm_labels = self._apply_mlm(masked, rng)
+        mer_labels = self._apply_mer(masked, rng)
+        return MaskedInstance(masked, mlm_labels, mer_labels)

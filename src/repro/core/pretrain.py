@@ -1,0 +1,244 @@
+"""Pre-training loop (paper Section 4.4) and the Figure 7 evaluation probe.
+
+The joint loss is MLM + MER cross-entropy (Eqn. 7), optimized with Adam
+under a linearly decaying learning rate.  :meth:`Pretrainer.evaluate_object_prediction`
+implements the ablation probe of Section 6.8: mask an object entity cell
+(both entity embedding and mention), recover it from a candidate set, and
+report top-1 accuracy.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.core.batching import batches_of, collate
+from repro.core.candidates import CandidateBuilder
+from repro.core.linearize import ETYPE_OBJECT, Linearizer, TableInstance
+from repro.core.masking import IGNORE, MaskingPolicy
+from repro.core.model import TURLModel
+from repro.nn import Adam, LinearDecaySchedule, clip_grad_norm, masked_cross_entropy
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import MASK_ID, SPECIAL_TOKENS, Vocabulary
+
+_FIRST_REAL_ID = len(SPECIAL_TOKENS)
+
+
+@dataclass
+class PretrainStats:
+    """Training history: per-step losses and periodic probe accuracies."""
+
+    losses: List[float] = field(default_factory=list)
+    mlm_losses: List[float] = field(default_factory=list)
+    mer_losses: List[float] = field(default_factory=list)
+    eval_steps: List[int] = field(default_factory=list)
+    eval_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        return self.eval_accuracies[-1] if self.eval_accuracies else None
+
+
+class Pretrainer:
+    """Runs MLM + MER pre-training over linearized tables."""
+
+    def __init__(self, model: TURLModel, instances: Sequence[TableInstance],
+                 candidate_builder: CandidateBuilder,
+                 config: Optional[TURLConfig] = None, seed: int = 0,
+                 use_visibility: bool = True):
+        self.model = model
+        self.instances = list(instances)
+        self.candidates = candidate_builder
+        self.config = config if config is not None else model.config
+        self.masking = MaskingPolicy(self.config, model.vocab_size,
+                                     model.entity_vocab_size)
+        self.rng = np.random.default_rng(seed)
+        self.use_visibility = use_visibility
+        self.optimizer: Optional[Adam] = None
+
+    def _ensure_optimizer(self, total_steps: int) -> None:
+        if self.optimizer is None:
+            schedule = LinearDecaySchedule(self.config.learning_rate,
+                                           total_steps=max(1, total_steps),
+                                           final_fraction=0.1)
+            self.optimizer = Adam(self.model.parameters(),
+                                  learning_rate=self.config.learning_rate,
+                                  weight_decay=self.config.weight_decay,
+                                  schedule=schedule)
+
+    # -- one optimization step -------------------------------------------
+    def step(self, batch: Dict[str, np.ndarray]) -> Dict[str, float]:
+        """Mask, forward, compute the joint loss, and update parameters."""
+        masked = self.masking.apply(batch, self.rng)
+        token_hidden, entity_hidden = self.model.encode(
+            masked.batch, use_visibility=self.use_visibility)
+
+        losses: Dict[str, float] = {"mlm": 0.0, "mer": 0.0}
+        total = None
+        if masked.n_mlm:
+            mlm_logits = self.model.mlm_logits(token_hidden)
+            mlm_loss = masked_cross_entropy(
+                mlm_logits, np.maximum(masked.mlm_labels, 0),
+                masked.mlm_labels != IGNORE)
+            losses["mlm"] = mlm_loss.item()
+            total = mlm_loss
+        if masked.n_mer:
+            candidate_ids, remapped = self.candidates.build(
+                batch["entity_ids"], masked.mer_labels, self.rng)
+            mer_logits = self.model.mer_logits(entity_hidden, candidate_ids)
+            mer_loss = masked_cross_entropy(
+                mer_logits, np.maximum(remapped, 0), remapped != IGNORE)
+            losses["mer"] = mer_loss.item()
+            total = mer_loss if total is None else total + mer_loss
+        if total is None:
+            return {"loss": 0.0, **losses}
+
+        self.model.zero_grad()
+        total.backward()
+        clip_grad_norm(self.model.parameters(), self.config.gradient_clip)
+        self.optimizer.step()
+        losses["loss"] = total.item()
+        return losses
+
+    # -- training loop ----------------------------------------------------
+    def train(self, n_epochs: int = 1,
+              eval_instances: Optional[Sequence[TableInstance]] = None,
+              eval_every: Optional[int] = None,
+              max_eval_tables: int = 50) -> PretrainStats:
+        """Train for ``n_epochs`` passes over the corpus.
+
+        When ``eval_instances`` is provided the object-entity-prediction
+        probe runs every ``eval_every`` steps (and once at the end).
+        """
+        stats = PretrainStats()
+        steps_per_epoch = max(1, int(np.ceil(len(self.instances) / self.config.batch_size)))
+        self._ensure_optimizer(steps_per_epoch * n_epochs)
+        self.model.train()
+        step_index = 0
+        for _ in range(n_epochs):
+            for batch in batches_of(self.instances, self.config.batch_size, self.rng):
+                result = self.step(batch)
+                stats.losses.append(result["loss"])
+                stats.mlm_losses.append(result["mlm"])
+                stats.mer_losses.append(result["mer"])
+                step_index += 1
+                if (eval_instances is not None and eval_every
+                        and step_index % eval_every == 0):
+                    accuracy = self.evaluate_object_prediction(
+                        eval_instances, max_tables=max_eval_tables)
+                    stats.eval_steps.append(step_index)
+                    stats.eval_accuracies.append(accuracy)
+                    self.model.train()
+        if eval_instances is not None:
+            accuracy = self.evaluate_object_prediction(
+                eval_instances, max_tables=max_eval_tables)
+            stats.eval_steps.append(step_index)
+            stats.eval_accuracies.append(accuracy)
+        return stats
+
+    # -- Figure 7 probe ------------------------------------------------------
+    def evaluate_object_prediction(self, instances: Sequence[TableInstance],
+                                   max_tables: Optional[int] = None,
+                                   max_cells_per_table: int = 3) -> float:
+        """Top-1 accuracy of recovering masked object entities (Section 6.8).
+
+        For each table, up to ``max_cells_per_table`` object entity cells are
+        masked (entity and mention) one at a time, and the model ranks the
+        MER candidate set; a hit means the true entity ranks first.
+        """
+        self.model.eval()
+        eval_rng = np.random.default_rng(12345)
+        instances = list(instances)
+        if max_tables is not None:
+            instances = instances[:max_tables]
+
+        correct = 0
+        total = 0
+        probes: List[TableInstance] = []
+        probe_positions: List[int] = []
+        probe_truth: List[int] = []
+        for instance in instances:
+            object_positions = [
+                i for i in range(instance.n_entities)
+                if instance.entity_type[i] == ETYPE_OBJECT
+                and instance.entity_ids[i] >= _FIRST_REAL_ID
+            ]
+            if not object_positions:
+                continue
+            if len(object_positions) > max_cells_per_table:
+                chosen = eval_rng.choice(len(object_positions),
+                                         size=max_cells_per_table, replace=False)
+                object_positions = [object_positions[int(i)] for i in chosen]
+            for position in object_positions:
+                probes.append(instance)
+                probe_positions.append(position)
+                probe_truth.append(int(instance.entity_ids[position]))
+
+        batch_size = self.config.batch_size
+        from repro.nn import no_grad
+        for start in range(0, len(probes), batch_size):
+            chunk = probes[start:start + batch_size]
+            positions = probe_positions[start:start + batch_size]
+            truths = probe_truth[start:start + batch_size]
+            batch = collate(chunk)
+            mention_masked = np.zeros(batch["entity_ids"].shape, dtype=bool)
+            labels = np.full(batch["entity_ids"].shape, IGNORE, dtype=np.int64)
+            for i, (position, truth) in enumerate(zip(positions, truths)):
+                batch["entity_ids"][i, position] = MASK_ID
+                mention_masked[i, position] = True
+                labels[i, position] = truth
+            batch["mention_masked"] = mention_masked
+
+            candidate_ids, remapped = self.candidates.build(
+                batch["entity_ids"], labels, eval_rng)
+            with no_grad():
+                _, entity_hidden = self.model.encode(
+                    batch, use_visibility=self.use_visibility)
+                logits = self.model.mer_logits(entity_hidden, candidate_ids)
+            predictions = logits.data.argmax(axis=-1)
+            for i, position in enumerate(positions):
+                total += 1
+                if predictions[i, position] == remapped[i, position]:
+                    correct += 1
+        return correct / total if total else 0.0
+
+
+# -- checkpointing -----------------------------------------------------------
+
+def save_checkpoint(directory: str, model: TURLModel,
+                    tokenizer: WordPieceTokenizer,
+                    entity_vocab: Vocabulary) -> None:
+    """Persist model weights, config, tokenizer and entity vocabulary."""
+    os.makedirs(directory, exist_ok=True)
+    save_state_dict(model.state_dict(), os.path.join(directory, "model.npz"))
+    with open(os.path.join(directory, "tokenizer.json"), "w") as handle:
+        handle.write(tokenizer.to_json())
+    with open(os.path.join(directory, "entity_vocab.json"), "w") as handle:
+        handle.write(entity_vocab.to_json())
+    import json
+
+    with open(os.path.join(directory, "config.json"), "w") as handle:
+        json.dump(model.config.to_dict(), handle)
+
+
+def load_checkpoint(directory: str):
+    """Inverse of :func:`save_checkpoint`.
+
+    Returns ``(model, tokenizer, entity_vocab)``.
+    """
+    import json
+
+    with open(os.path.join(directory, "config.json")) as handle:
+        config = TURLConfig.from_dict(json.load(handle))
+    with open(os.path.join(directory, "tokenizer.json")) as handle:
+        tokenizer = WordPieceTokenizer.from_json(handle.read())
+    with open(os.path.join(directory, "entity_vocab.json")) as handle:
+        entity_vocab = Vocabulary.from_json(handle.read())
+    model = TURLModel(len(tokenizer.vocab), len(entity_vocab), config)
+    model.load_state_dict(load_state_dict(os.path.join(directory, "model.npz")))
+    return model, tokenizer, entity_vocab

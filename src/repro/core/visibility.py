@@ -1,0 +1,68 @@
+"""The visibility matrix (paper Section 4.3, Figures 4–5).
+
+``M`` is a symmetric binary matrix over all linearized elements:
+
+- caption tokens and the topic entity are visible to (and from) everything;
+- header tokens see all metadata plus entity cells of their own column;
+- entity cells see metadata of their column plus entity cells in the same
+  row or the same column.
+
+The matrix is used as an attention mask (see
+:class:`repro.nn.attention.MultiHeadAttention`), restricting each element to
+aggregate information only from structurally related elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.linearize import (
+    KIND_CAPTION,
+    KIND_CELL,
+    KIND_HEADER,
+    KIND_TOPIC,
+    TableInstance,
+)
+
+
+def build_visibility(instance: TableInstance) -> np.ndarray:
+    """Build the boolean visibility matrix for one linearized table.
+
+    Returns an ``(L, L)`` symmetric boolean array with ``True`` = visible.
+    """
+    kinds = instance.element_kinds()
+    rows = instance.element_rows()
+    cols = instance.element_cols()
+    return visibility_from_structure(kinds, rows, cols)
+
+
+def visibility_from_structure(kinds: np.ndarray, rows: np.ndarray,
+                              cols: np.ndarray) -> np.ndarray:
+    """Vectorized visibility construction from element structure arrays."""
+    kinds = np.asarray(kinds)
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    n = len(kinds)
+
+    is_global = (kinds == KIND_CAPTION) | (kinds == KIND_TOPIC)
+    is_header = kinds == KIND_HEADER
+    is_cell = kinds == KIND_CELL
+
+    same_col = cols[:, None] == cols[None, :]
+    same_row = rows[:, None] == rows[None, :]
+
+    visible = np.zeros((n, n), dtype=bool)
+    # Caption tokens / topic entity: globally visible, symmetrically.
+    visible |= is_global[:, None]
+    visible |= is_global[None, :]
+    # Header-header: all table metadata is mutually visible.
+    visible |= is_header[:, None] & is_header[None, :]
+    # Header <-> entity cell of the same column.
+    header_cell = is_header[:, None] & is_cell[None, :] & same_col
+    visible |= header_cell
+    visible |= header_cell.T
+    # Entity cell <-> entity cell in the same row or column.
+    visible |= is_cell[:, None] & is_cell[None, :] & (same_row | same_col)
+    # Self-visibility always holds.
+    np.fill_diagonal(visible, True)
+    return visible

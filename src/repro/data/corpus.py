@@ -1,0 +1,96 @@
+"""Table corpus container with persistence and derived vocabulary helpers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.data.table import Table
+
+
+class TableCorpus:
+    """An ordered collection of :class:`Table` objects."""
+
+    def __init__(self, tables: Iterable[Table] = ()):
+        self.tables: List[Table] = list(tables)
+        self._by_id = {table.table_id: table for table in self.tables}
+        if len(self._by_id) != len(self.tables):
+            raise ValueError("duplicate table ids in corpus")
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables)
+
+    def __getitem__(self, index: int) -> Table:
+        return self.tables[index]
+
+    def get(self, table_id: str) -> Table:
+        return self._by_id[table_id]
+
+    def add(self, table: Table) -> None:
+        if table.table_id in self._by_id:
+            raise ValueError(f"duplicate table id: {table.table_id}")
+        self.tables.append(table)
+        self._by_id[table.table_id] = table
+
+    # -- derived statistics ------------------------------------------------
+    def entity_counts(self) -> Counter:
+        """Occurrences of each linked entity id across content cells and
+        topic entities — the input to entity-vocabulary construction."""
+        counts: Counter = Counter()
+        for table in self.tables:
+            for entity_id in table.linked_entities():
+                counts[entity_id] += 1
+            if table.topic_entity:
+                counts[table.topic_entity] += 1
+        return counts
+
+    def header_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for table in self.tables:
+            for header in table.headers:
+                counts[header.strip().lower()] += 1
+        return counts
+
+    def caption_texts(self) -> List[str]:
+        return [table.caption_text() for table in self.tables]
+
+    def metadata_texts(self) -> List[str]:
+        """All text a tokenizer should be trained on: captions + headers."""
+        texts = []
+        for table in self.tables:
+            texts.append(table.caption_text())
+            texts.extend(table.headers)
+        return texts
+
+    # -- persistence ------------------------------------------------------
+    def save_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for table in self.tables:
+                handle.write(table.to_json() + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "TableCorpus":
+        tables = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    tables.append(Table.from_json(line))
+        return cls(tables)
+
+
+@dataclass
+class CorpusSplits:
+    """Pre-training / validation / test partition (paper Section 5.1)."""
+
+    train: TableCorpus
+    validation: TableCorpus
+    test: TableCorpus
+
+    @property
+    def sizes(self) -> tuple:
+        return (len(self.train), len(self.validation), len(self.test))

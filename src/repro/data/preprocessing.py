@@ -1,0 +1,109 @@
+"""Corpus pre-processing: relational-table identification and partitioning.
+
+Implements the heuristics of paper Section 5.1:
+
+- *entity columns* are columns with at least one linked cell and a legal
+  header (noisy headers like "note" / "comment" / bare digits are dropped);
+- a *relational table* has a subject column among its first two columns whose
+  linked entities are unique, at least three linked entities overall, and at
+  most twenty columns;
+- the *held-out evaluation set* is a high-quality subset: more than four
+  linked subject entities, at least three entity columns, and more than half
+  of entity-column cells linked; it is split ~1:1 into validation and test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.corpus import CorpusSplits, TableCorpus
+from repro.data.table import Table
+
+ILLEGAL_HEADERS = {"note", "notes", "comment", "comments", "reference", "references", "ref", ""}
+
+
+def _legal_header(header: str) -> bool:
+    normalized = header.strip().lower()
+    if normalized in ILLEGAL_HEADERS:
+        return False
+    if normalized.isdigit():
+        return False
+    return True
+
+
+def detect_subject_column(table: Table) -> Optional[int]:
+    """Find the subject column per the paper's heuristic.
+
+    The subject column must be within the first two columns, be an entity
+    column with a legal header, and contain unique linked entities.
+    """
+    for index in range(min(2, table.n_columns)):
+        column = table.columns[index]
+        if not column.is_entity or not _legal_header(column.header):
+            continue
+        linked = [cell.entity_id for cell in column.cells if cell.is_linked]
+        if linked and len(linked) == len(set(linked)):
+            return index
+    return None
+
+
+def is_relational(table: Table) -> bool:
+    """Apply the full Section 5.1 relational-table filter."""
+    if table.n_columns > 20:
+        return False
+    if detect_subject_column(table) is None:
+        return False
+    n_linked = sum(1 for _, _, cell in table.all_entity_cells() if cell.is_linked)
+    return n_linked >= 3
+
+
+def filter_relational(corpus: TableCorpus) -> TableCorpus:
+    """Keep only relational tables; re-detect their subject columns."""
+    kept = []
+    for table in corpus:
+        if not is_relational(table):
+            continue
+        table.subject_column = detect_subject_column(table)
+        kept.append(table)
+    return TableCorpus(kept)
+
+
+def is_high_quality(table: Table) -> bool:
+    """Held-out eligibility: the paper's high-quality subset criteria."""
+    subject_linked = [c for c in table.subject_cells() if c.is_linked]
+    if len(subject_linked) <= 4:
+        return False
+    if len(table.entity_columns()) < 3:
+        return False
+    cells = [cell for _, _, cell in table.all_entity_cells()]
+    if not cells:
+        return False
+    linked_fraction = sum(1 for cell in cells if cell.is_linked) / len(cells)
+    return linked_fraction > 0.5
+
+
+def partition_corpus(corpus: TableCorpus, heldout_fraction: float = 0.1,
+                     seed: int = 0) -> CorpusSplits:
+    """Partition into train / validation / test (paper Section 5.1).
+
+    A random sample of high-quality tables (up to ``heldout_fraction`` of the
+    corpus) forms the held-out set, split roughly 1:1 into validation and
+    test; everything else is pre-training data.
+    """
+    rng = np.random.default_rng(seed)
+    eligible = [i for i, table in enumerate(corpus) if is_high_quality(table)]
+    target = int(len(corpus) * heldout_fraction)
+    if len(eligible) > target:
+        chosen = rng.choice(len(eligible), size=target, replace=False)
+        eligible = [eligible[int(i)] for i in chosen]
+    heldout = set(eligible)
+
+    train = [t for i, t in enumerate(corpus) if i not in heldout]
+    heldout_tables = [corpus[i] for i in sorted(heldout)]
+    order = rng.permutation(len(heldout_tables))
+    half = len(heldout_tables) // 2
+    validation = [heldout_tables[int(i)] for i in order[:half]]
+    test = [heldout_tables[int(i)] for i in order[half:]]
+    return CorpusSplits(TableCorpus(train), TableCorpus(validation), TableCorpus(test))

@@ -1,0 +1,60 @@
+"""Corpus statistics (paper Table 3).
+
+For each split we report min/mean/median/max of rows per table, entity
+columns per table, and linked entities per table — the exact rows of the
+paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.corpus import CorpusSplits, TableCorpus
+
+
+def _summary(values: List[int]) -> Dict[str, float]:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0}
+    return {
+        "min": float(array.min()),
+        "mean": float(array.mean()),
+        "median": float(np.median(array)),
+        "max": float(array.max()),
+    }
+
+
+def corpus_statistics(corpus: TableCorpus) -> Dict[str, Dict[str, float]]:
+    """Per-table row/entity-column/entity counts summarized over a corpus."""
+    rows = [table.n_rows for table in corpus]
+    entity_columns = [len(table.entity_columns()) for table in corpus]
+    entities = [len(table.linked_entities()) for table in corpus]
+    return {
+        "n_row": _summary(rows),
+        "n_ent_columns": _summary(entity_columns),
+        "n_ent": _summary(entities),
+    }
+
+
+def splits_statistics(splits: CorpusSplits) -> Dict[str, Dict[str, Dict[str, float]]]:
+    return {
+        "train": corpus_statistics(splits.train),
+        "dev": corpus_statistics(splits.validation),
+        "test": corpus_statistics(splits.test),
+    }
+
+
+def format_statistics(stats: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Render split statistics in the layout of the paper's Table 3."""
+    lines = [f"{'':14s}{'split':8s}{'min':>6s}{'mean':>8s}{'median':>8s}{'max':>8s}"]
+    labels = {"n_row": "# row", "n_ent_columns": "# ent. columns", "n_ent": "# ent."}
+    for metric, label in labels.items():
+        for split in ("train", "dev", "test"):
+            summary = stats[split][metric]
+            lines.append(
+                f"{label:14s}{split:8s}{summary['min']:6.0f}{summary['mean']:8.1f}"
+                f"{summary['median']:8.1f}{summary['max']:8.0f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,460 @@
+"""Wikipedia-style table synthesis from the knowledge base.
+
+The paper pre-trains on 570 K relational tables extracted from Wikipedia.
+Offline we generate the equivalent corpus directly from the synthetic KB:
+each *recipe* mirrors a common Wikipedia table genre (filmographies, award
+recipient lists as in the paper's Figure 1, club squads, discographies,
+"list of X in Y" pages) and instantiates tables whose cells are KB entities
+related by real KB facts.  Because tables are drawn from facts, the entity
+co-occurrence structure that Masked Entity Recovery is designed to capture is
+present by construction.
+
+Noise model (all rates configurable through :class:`SynthesisConfig`):
+
+- mentions are sampled from the entity's alias set, with occasional typos;
+- a fraction of entity cells lose their link (mention-only cells);
+- headers are sampled from per-relation phrase inventories;
+- rows are subsampled and shuffled per table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.corpus import TableCorpus
+from repro.data.table import Column, EntityCell, Table
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.schema import RELATIONS
+
+
+@dataclass
+class SynthesisConfig:
+    """Knobs for corpus synthesis."""
+
+    seed: int = 0
+    n_tables: int = 2000
+    alias_probability: float = 0.25
+    typo_probability: float = 0.02
+    unlinked_probability: float = 0.12
+    max_rows: int = 24
+    min_rows: int = 3
+    #: when True, each (recipe, anchor entity) pair yields at most one table,
+    #: so no near-duplicate of a held-out table exists in the training split
+    #: (mirrors Wikipedia, where each page holds its table once).
+    unique_anchors: bool = True
+
+
+class TableSynthesizer:
+    """Generates relational tables from a knowledge base."""
+
+    def __init__(self, kb: KnowledgeBase, config: SynthesisConfig = SynthesisConfig()):
+        self.kb = kb
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self._counter = 0
+        self._used_anchors: set = set()
+        self._recipes: List[Tuple[Callable[[], Optional[Table]], float]] = [
+            (self._filmography_table, 1.2),
+            (self._award_recipients_table, 1.0),
+            (self._squad_table, 1.2),
+            (self._discography_table, 0.8),
+            (self._club_list_table, 0.6),
+            (self._films_by_language_table, 0.8),
+            (self._actor_filmography_table, 0.8),
+            (self._city_list_table, 0.4),
+            (self._country_athletes_table, 0.8),
+            (self._films_by_country_table, 0.5),
+            (self._transfers_table, 0.8),
+        ]
+
+    # -- public API --------------------------------------------------------
+    def generate(self, n_tables: Optional[int] = None) -> TableCorpus:
+        """Generate ``n_tables`` tables (default: config value)."""
+        target = n_tables if n_tables is not None else self.config.n_tables
+        recipes, weights = zip(*self._recipes)
+        weights = np.asarray(weights) / np.sum(weights)
+        tables: List[Table] = []
+        attempts = 0
+        while len(tables) < target and attempts < target * 20:
+            attempts += 1
+            recipe = recipes[int(self.rng.choice(len(recipes), p=weights))]
+            table = recipe()
+            if table is not None and table.n_rows >= self.config.min_rows:
+                tables.append(table)
+        return TableCorpus(tables)
+
+    # -- noise helpers ------------------------------------------------------
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"tbl_{self._counter:06d}"
+
+    def _claim(self, recipe: str, anchor_id: str) -> bool:
+        """Reserve a (recipe, anchor) pair; False if already generated."""
+        if not self.config.unique_anchors:
+            return True
+        key = (recipe, anchor_id)
+        if key in self._used_anchors:
+            return False
+        self._used_anchors.add(key)
+        return True
+
+    def _typo(self, text: str) -> str:
+        if len(text) < 4:
+            return text
+        position = int(self.rng.integers(1, len(text) - 1))
+        kind = self.rng.random()
+        if kind < 0.5:  # drop a character
+            return text[:position] + text[position + 1:]
+        # swap two adjacent characters
+        chars = list(text)
+        chars[position], chars[position - 1] = chars[position - 1], chars[position]
+        return "".join(chars)
+
+    def _mention_for(self, entity_id: str) -> str:
+        entity = self.kb.get(entity_id)
+        mention = entity.name
+        if entity.aliases and self.rng.random() < self.config.alias_probability:
+            mention = entity.aliases[int(self.rng.integers(len(entity.aliases)))]
+        if self.rng.random() < self.config.typo_probability:
+            mention = self._typo(mention)
+        return mention
+
+    def _cell(self, entity_id: str, force_linked: bool = False) -> EntityCell:
+        mention = self._mention_for(entity_id)
+        if not force_linked and self.rng.random() < self.config.unlinked_probability:
+            return EntityCell(None, mention)
+        return EntityCell(entity_id, mention)
+
+    def _choice(self, items: Sequence[str]) -> str:
+        return items[int(self.rng.integers(len(items)))]
+
+    def _header(self, relation_name: str) -> str:
+        phrases = RELATIONS[relation_name].header_phrases
+        return self._choice(phrases) if phrases else relation_name.split(".")[-1]
+
+    def _subsample_rows(self, rows: List) -> List:
+        if len(rows) > self.config.max_rows:
+            keep = self.rng.choice(len(rows), size=self.config.max_rows, replace=False)
+            rows = [rows[int(i)] for i in sorted(keep)]
+        order = self.rng.permutation(len(rows))
+        return [rows[int(i)] for i in order]
+
+    def _object_cell(self, subject_id: str, relation: str) -> Optional[EntityCell]:
+        objects = self.kb.objects_of(subject_id, relation)
+        if not objects:
+            return None
+        return self._cell(self._choice(objects))
+
+    # -- recipes --------------------------------------------------------------
+    def _entity_table(self, *, page_title: str, section_title: str, caption: str,
+                      topic: Optional[str], subject_header: str,
+                      subject_ids: List[str],
+                      relation_columns: List[Tuple[str, str]],
+                      text_column: Optional[Tuple[str, Callable[[str], str]]] = None,
+                      ) -> Optional[Table]:
+        """Shared recipe core: subject column + relation-derived object columns."""
+        subject_ids = self._subsample_rows(list(dict.fromkeys(subject_ids)))
+        if len(subject_ids) < self.config.min_rows:
+            return None
+        columns: List[Column] = [
+            Column(subject_header, "entity",
+                   [self._cell(s) for s in subject_ids])
+        ]
+        if text_column is not None:
+            header, value_fn = text_column
+            columns.append(Column(header, "text", [value_fn(s) for s in subject_ids]))
+        for column_spec in relation_columns:
+            # (header, relation) picks a random valid object; an optional
+            # third element is a deterministic selector subject_id -> object.
+            header, relation = column_spec[0], column_spec[1]
+            selector = column_spec[2] if len(column_spec) > 2 else None
+            cells = []
+            for subject_id in subject_ids:
+                if selector is not None:
+                    object_id = selector(subject_id)
+                    cell = self._cell(object_id) if object_id else None
+                else:
+                    cell = self._object_cell(subject_id, relation)
+                cells.append(cell if cell is not None else EntityCell(None, "—"))
+            columns.append(Column(header, "entity", cells, relation=relation))
+        return Table(
+            table_id=self._next_id(),
+            page_title=page_title,
+            section_title=section_title,
+            caption=caption,
+            topic_entity=topic,
+            columns=columns,
+            subject_column=0,
+        )
+
+    def _film_year(self, film_id: str) -> str:
+        description = self.kb.get(film_id).description
+        for token in description.split():
+            if token.isdigit() and len(token) == 4:
+                return token
+        return ""
+
+    def _filmography_table(self) -> Optional[Table]:
+        directors = self.kb.entities_of_type("director")
+        director_id = self._choice(directors)
+        if not self._claim("filmography", director_id):
+            return None
+        films = self.kb.subjects_of(director_id, "film.director")
+        name = self.kb.get(director_id).name
+        return self._entity_table(
+            page_title=name,
+            section_title="Filmography",
+            caption=f"films directed by {name}",
+            topic=director_id,
+            subject_header=self._choice(["Film", "Title"]),
+            subject_ids=films,
+            relation_columns=[
+                (self._header("film.language"), "film.language"),
+                (self._choice(["Lead Actor", "Starring"]), "film.starring"),
+            ],
+            text_column=("Year", self._film_year),
+        )
+
+    def _actor_filmography_table(self) -> Optional[Table]:
+        actors = self.kb.entities_of_type("actor")
+        actor_id = self._choice(actors)
+        if not self._claim("actor_filmography", actor_id):
+            return None
+        films = self.kb.subjects_of(actor_id, "film.starring")
+        name = self.kb.get(actor_id).name
+        return self._entity_table(
+            page_title=name,
+            section_title="Filmography",
+            caption=f"films featuring {name}",
+            topic=actor_id,
+            subject_header=self._choice(["Film", "Title"]),
+            subject_ids=films,
+            relation_columns=[
+                (self._header("film.director"), "film.director"),
+                (self._header("film.language"), "film.language"),
+            ],
+            text_column=("Year", self._film_year),
+        )
+
+    def _award_recipients_table(self) -> Optional[Table]:
+        """The paper's Figure 1 genre: award ceremonies with recipients."""
+        awards = self.kb.entities_of_type("award")
+        award_id = self._choice(awards)
+        if not self._claim("award_recipients", award_id):
+            return None
+        ceremonies = self.kb.subjects_of(award_id, "ceremony.award")
+        ceremonies = [c for c in ceremonies
+                      if self.kb.objects_of(c, "ceremony.winner")]
+        name = self.kb.get(award_id).name
+        return self._entity_table(
+            page_title=name,
+            section_title="Recipients",
+            caption=f"list of {name} recipients",
+            topic=award_id,
+            subject_header=self._choice(["Ceremony", "Edition", "Year"]),
+            subject_ids=ceremonies,
+            relation_columns=[
+                (self._header("ceremony.winner"), "ceremony.winner"),
+                (self._header("ceremony.best_film"), "ceremony.best_film"),
+            ],
+        )
+
+    def _squad_table(self) -> Optional[Table]:
+        seasons = self.kb.entities_of_type("sports_season")
+        season_id = self._choice(seasons)
+        if not self._claim("squad", season_id):
+            return None
+        club_id = self.kb.objects_of(season_id, "season.club")[0]
+        athletes = self.kb.subjects_of(club_id, "athlete.club")
+        season = self.kb.get(season_id).name
+
+        def position_of(athlete_id: str) -> str:
+            description = self.kb.get(athlete_id).description
+            return description.rsplit("Plays as a ", 1)[-1].rstrip(".") if "Plays as a" in description else ""
+
+        return self._entity_table(
+            page_title=season,
+            section_title="Squad",
+            caption=f"{season} first-team squad",
+            topic=season_id,
+            subject_header=self._choice(["Name", "Player"]),
+            subject_ids=athletes,
+            relation_columns=[
+                (self._header("person.birthplace"), "person.birthplace"),
+                (self._header("person.nationality"), "person.nationality"),
+            ],
+            text_column=("Position", position_of),
+        )
+
+    def _discography_table(self) -> Optional[Table]:
+        musicians = self.kb.entities_of_type("musician")
+        musician_id = self._choice(musicians)
+        if not self._claim("discography", musician_id):
+            return None
+        albums = self.kb.subjects_of(musician_id, "album.artist")
+        name = self.kb.get(musician_id).name
+        return self._entity_table(
+            page_title=name,
+            section_title="Discography",
+            caption=f"albums by {name}",
+            topic=musician_id,
+            subject_header=self._choice(["Album", "Title"]),
+            subject_ids=albums,
+            relation_columns=[
+                (self._header("album.genre"), "album.genre"),
+                (self._header("album.artist"), "album.artist"),
+            ],
+        )
+
+    def _club_list_table(self) -> Optional[Table]:
+        countries = self.kb.entities_of_type("country")
+        country_id = self._choice(countries)
+        if not self._claim("club_list", country_id):
+            return None
+        country = self.kb.get(country_id).name
+        clubs = [
+            club_id
+            for club_id in self.kb.entities_of_type("sports_club")
+            for city_id in self.kb.objects_of(club_id, "club.city")
+            if country_id in self.kb.objects_of(city_id, "city.country")
+        ]
+        return self._entity_table(
+            page_title=f"List of football clubs in {country}",
+            section_title="Clubs",
+            caption=f"football clubs in {country}",
+            topic=country_id,
+            subject_header="Club",
+            subject_ids=clubs,
+            relation_columns=[
+                (self._header("club.city"), "club.city"),
+                (self._header("club.stadium"), "club.stadium"),
+            ],
+        )
+
+    def _films_by_language_table(self) -> Optional[Table]:
+        languages = self.kb.entities_of_type("language")
+        language_id = self._choice(languages)
+        if not self._claim("films_by_language", language_id):
+            return None
+        films = self.kb.subjects_of(language_id, "film.language")
+        language = self.kb.get(language_id).name
+        return self._entity_table(
+            page_title=f"List of {language}-language films",
+            section_title="Films",
+            caption=f"{language}-language films",
+            topic=language_id,
+            subject_header=self._choice(["Film", "Title"]),
+            subject_ids=films,
+            relation_columns=[
+                (self._header("film.director"), "film.director"),
+                (self._header("film.country"), "film.country"),
+            ],
+            text_column=("Year", self._film_year),
+        )
+
+    def _transfers_table(self) -> Optional[Table]:
+        """Season transfer lists ("moving from" columns, cf. paper Table 11)."""
+        seasons = self.kb.entities_of_type("sports_season")
+        season_id = self._choice(seasons)
+        if not self._claim("transfers", season_id):
+            return None
+        club_id = self.kb.objects_of(season_id, "season.club")[0]
+        athletes = self.kb.subjects_of(club_id, "athlete.club")
+        season = self.kb.get(season_id).name
+
+        def previous_club(athlete_id: str) -> Optional[str]:
+            career = self.kb.objects_of(athlete_id, "athlete.club")
+            index = career.index(club_id)
+            return career[index - 1] if index > 0 else None
+
+        # Only players who actually transferred in have a "moving from" row.
+        movers = [a for a in athletes if previous_club(a)]
+        return self._entity_table(
+            page_title=season,
+            section_title="Transfers",
+            caption=f"{season} transfers in",
+            topic=season_id,
+            subject_header=self._choice(["Name", "Player"]),
+            subject_ids=movers,
+            relation_columns=[
+                (self._choice(["Moving From", "Previous Club"]),
+                 "athlete.club", previous_club),
+                (self._header("person.nationality"), "person.nationality"),
+            ],
+        )
+
+    def _country_athletes_table(self) -> Optional[Table]:
+        countries = self.kb.entities_of_type("country")
+        country_id = self._choice(countries)
+        if not self._claim("country_athletes", country_id):
+            return None
+        country = self.kb.get(country_id).name
+        athletes = self.kb.subjects_of(country_id, "person.nationality")
+        athletes = [a for a in athletes
+                    if self.kb.objects_of(a, "athlete.club")]
+
+        def current_club(athlete_id: str) -> Optional[str]:
+            career = self.kb.objects_of(athlete_id, "athlete.club")
+            return career[-1] if career else None
+
+        return self._entity_table(
+            page_title=f"List of footballers from {country}",
+            section_title="Players",
+            caption=f"association football players from {country}",
+            topic=country_id,
+            subject_header=self._choice(["Name", "Player"]),
+            subject_ids=athletes,
+            relation_columns=[
+                (self._header("athlete.club"), "athlete.club", current_club),
+                (self._header("person.birthplace"), "person.birthplace"),
+            ],
+        )
+
+    def _films_by_country_table(self) -> Optional[Table]:
+        countries = self.kb.entities_of_type("country")
+        country_id = self._choice(countries)
+        if not self._claim("films_by_country", country_id):
+            return None
+        country = self.kb.get(country_id).name
+        films = self.kb.subjects_of(country_id, "film.country")
+        return self._entity_table(
+            page_title=f"Cinema of {country}",
+            section_title="Films",
+            caption=f"films produced in {country}",
+            topic=country_id,
+            subject_header=self._choice(["Film", "Title"]),
+            subject_ids=films,
+            relation_columns=[
+                (self._header("film.director"), "film.director"),
+                (self._header("film.language"), "film.language"),
+                (self._choice(["Starring", "Lead Actor"]), "film.starring"),
+            ],
+            text_column=("Year", self._film_year),
+        )
+
+    def _city_list_table(self) -> Optional[Table]:
+        countries = self.kb.entities_of_type("country")
+        country_id = self._choice(countries)
+        if not self._claim("city_list", country_id):
+            return None
+        country = self.kb.get(country_id).name
+        cities = self.kb.subjects_of(country_id, "city.country")
+        return self._entity_table(
+            page_title=f"List of cities in {country}",
+            section_title="Cities",
+            caption=f"cities and towns in {country}",
+            topic=country_id,
+            subject_header=self._choice(["City", "Name"]),
+            subject_ids=cities,
+            relation_columns=[
+                (self._header("city.country"), "city.country"),
+            ],
+        )
+
+
+def build_corpus(kb: KnowledgeBase, config: SynthesisConfig = SynthesisConfig()) -> TableCorpus:
+    """Convenience wrapper: synthesize a corpus from ``kb``."""
+    return TableSynthesizer(kb, config).generate()

@@ -1,0 +1,167 @@
+"""The relational-table data model (paper Section 2, Table 1).
+
+A :class:`Table` carries the metadata ``(C, H, e_t)`` — caption (built from
+page title, section title and caption proper), headers, topic entity — and
+the content ``E``: columns of cells.  Entity cells are ``(e_e, e_m)`` pairs:
+a KB entity id (or ``None`` when the cell is unlinked) plus the surface
+mention string.  Text columns hold plain strings (years, positions, notes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class EntityCell:
+    """One table cell in an entity column: linked entity id + mention text."""
+
+    entity_id: Optional[str]
+    mention: str
+
+    @property
+    def is_linked(self) -> bool:
+        return self.entity_id is not None
+
+    def to_list(self) -> list:
+        return [self.entity_id, self.mention]
+
+    @classmethod
+    def from_list(cls, payload: list) -> "EntityCell":
+        return cls(payload[0], payload[1])
+
+
+@dataclass
+class Column:
+    """A table column: header, kind (``entity`` or ``text``), and cells."""
+
+    header: str
+    kind: str  # "entity" | "text"
+    cells: List = field(default_factory=list)
+    #: KB relation linking the subject column to this column, when the
+    #: synthesizer built it from facts (ground truth for relation extraction).
+    relation: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("entity", "text"):
+            raise ValueError(f"column kind must be 'entity' or 'text', got {self.kind!r}")
+
+    @property
+    def is_entity(self) -> bool:
+        return self.kind == "entity"
+
+    def linked_cells(self) -> List[EntityCell]:
+        if not self.is_entity:
+            return []
+        return [cell for cell in self.cells if cell.is_linked]
+
+
+@dataclass
+class Table:
+    """A relational Web table ``T = (C, H, E, e_t)``."""
+
+    table_id: str
+    page_title: str
+    section_title: str
+    caption: str
+    topic_entity: Optional[str]
+    columns: List[Column]
+    subject_column: int = 0
+
+    def __post_init__(self) -> None:
+        lengths = {len(column.cells) for column in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged table {self.table_id}: column lengths {sorted(lengths)}")
+
+    # -- shape ------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.columns[0].cells) if self.columns else 0
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def headers(self) -> List[str]:
+        return [column.header for column in self.columns]
+
+    # -- text -------------------------------------------------------------
+    def caption_text(self) -> str:
+        """Page title + section title + caption, the paper's comprehensive
+        description (Section 5.1)."""
+        parts = [self.page_title, self.section_title, self.caption]
+        return " ".join(part for part in parts if part)
+
+    # -- entity access ------------------------------------------------------
+    def entity_columns(self) -> List[int]:
+        return [i for i, column in enumerate(self.columns) if column.is_entity]
+
+    def subject_cells(self) -> List[EntityCell]:
+        return list(self.columns[self.subject_column].cells)
+
+    def subject_entities(self) -> List[str]:
+        return [cell.entity_id for cell in self.columns[self.subject_column].cells
+                if cell.is_linked]
+
+    def all_entity_cells(self) -> Iterator[Tuple[int, int, EntityCell]]:
+        """Yield ``(row, column, cell)`` for every entity cell, row-major."""
+        entity_cols = self.entity_columns()
+        for row in range(self.n_rows):
+            for col in entity_cols:
+                yield row, col, self.columns[col].cells[row]
+
+    def linked_entities(self) -> List[str]:
+        """All linked entity ids in content cells (duplicates preserved)."""
+        return [cell.entity_id for _, _, cell in self.all_entity_cells() if cell.is_linked]
+
+    def row(self, index: int) -> List:
+        return [column.cells[index] for column in self.columns]
+
+    # -- persistence ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "table_id": self.table_id,
+            "page_title": self.page_title,
+            "section_title": self.section_title,
+            "caption": self.caption,
+            "topic_entity": self.topic_entity,
+            "subject_column": self.subject_column,
+            "columns": [
+                {
+                    "header": column.header,
+                    "kind": column.kind,
+                    "relation": column.relation,
+                    "cells": [cell.to_list() if column.is_entity else cell
+                              for cell in column.cells],
+                }
+                for column in self.columns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Table":
+        columns = []
+        for blob in payload["columns"]:
+            cells = [EntityCell.from_list(c) if blob["kind"] == "entity" else c
+                     for c in blob["cells"]]
+            columns.append(Column(blob["header"], blob["kind"], cells,
+                                  relation=blob.get("relation")))
+        return cls(
+            table_id=payload["table_id"],
+            page_title=payload["page_title"],
+            section_title=payload["section_title"],
+            caption=payload["caption"],
+            topic_entity=payload["topic_entity"],
+            columns=columns,
+            subject_column=payload["subject_column"],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Table":
+        return cls.from_dict(json.loads(payload))

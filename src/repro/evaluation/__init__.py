@@ -1,0 +1,12 @@
+"""Experiment registry and report formatting.
+
+:mod:`repro.evaluation.registry` maps every paper artifact (table / figure)
+to the modules that implement it and the benchmark that regenerates it;
+:mod:`repro.evaluation.reporting` holds the plain-text table formatters the
+benchmarks use.
+"""
+
+from repro.evaluation.registry import EXPERIMENTS, Experiment
+from repro.evaluation.reporting import format_metric_rows, format_pk_rows
+
+__all__ = ["EXPERIMENTS", "Experiment", "format_metric_rows", "format_pk_rows"]

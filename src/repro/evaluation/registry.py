@@ -1,0 +1,110 @@
+"""The experiment registry: every table and figure of the paper's Section 6.
+
+Each entry records what the artifact shows, which modules implement the
+pieces, and which benchmark regenerates it.  ``python -m repro.evaluation.registry``
+prints the index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Experiment:
+    artifact: str
+    title: str
+    modules: Tuple[str, ...]
+    benchmark: str
+    expected_shape: str
+
+
+EXPERIMENTS = [
+    Experiment(
+        "Table 3", "Pre-training corpus statistics",
+        ("repro.data.synthesis", "repro.data.preprocessing", "repro.data.statistics"),
+        "benchmarks/bench_table03_corpus_stats.py",
+        "moderate tables (median ~8-12 rows, ~3 entity columns); held-out "
+        "splits richer than train"),
+    Experiment(
+        "Table 4", "Entity linking",
+        ("repro.tasks.entity_linking", "repro.kb.lookup",
+         "repro.baselines.lookup_linker", "repro.baselines.t2k",
+         "repro.baselines.hybrid"),
+        "benchmarks/bench_table04_entity_linking.py",
+        "TURL best F1; Oracle above all; description ablation hurts more "
+        "than type ablation"),
+    Experiment(
+        "Table 5", "Column type annotation",
+        ("repro.tasks.column_type", "repro.baselines.sherlock"),
+        "benchmarks/bench_table05_column_type.py",
+        "TURL > Sherlock, even on identical (mention-only) inputs; full "
+        "inputs best"),
+    Experiment(
+        "Table 6", "Per-type column annotation F1",
+        ("repro.tasks.column_type",),
+        "benchmarks/bench_table06_column_type_per_type.py",
+        "coarse types easy for everyone; fine-grained types need table "
+        "context (metadata beats mentions)"),
+    Experiment(
+        "Table 7", "Relation extraction",
+        ("repro.tasks.relation_extraction", "repro.baselines.bert_re"),
+        "benchmarks/bench_table07_relation_extraction.py",
+        "both strong (F1 > 0.9); TURL above the text-only baseline in every "
+        "configuration"),
+    Experiment(
+        "Figure 6", "Relation-extraction convergence",
+        ("repro.tasks.relation_extraction", "repro.baselines.bert_re"),
+        "benchmarks/bench_figure06_convergence.py",
+        "TURL's validation MAP dominates early steps (better initialization "
+        "from pre-training)"),
+    Experiment(
+        "Table 8", "Row population",
+        ("repro.tasks.row_population", "repro.baselines.entitables",
+         "repro.baselines.table2vec", "repro.retrieval.bm25"),
+        "benchmarks/bench_table08_row_population.py",
+        "TURL best at 0 and 1 seeds; Table2Vec inapplicable at 0 seeds; "
+        "recall shared across methods"),
+    Experiment(
+        "Table 9", "Cell filling",
+        ("repro.tasks.cell_filling", "repro.baselines.cell_filling"),
+        "benchmarks/bench_table09_cell_filling.py",
+        "Exact ≈ H2H ≈ H2V decent; TURL best P@1 with no fine-tuning"),
+    Experiment(
+        "Table 10", "Schema augmentation",
+        ("repro.tasks.schema_augmentation", "repro.baselines.entitables",
+         "repro.retrieval.tfidf"),
+        "benchmarks/bench_table10_schema_augmentation.py",
+        "TURL competitive at 0 seeds; kNN gains more from a seed header"),
+    Experiment(
+        "Table 11", "Schema augmentation case study",
+        ("repro.tasks.schema_augmentation", "repro.baselines.entitables"),
+        "benchmarks/bench_table11_schema_cases.py",
+        "kNN wins when a near-identical support table exists; TURL suggests "
+        "plausible semantic headers"),
+    Experiment(
+        "Figure 7a", "Visibility-matrix ablation",
+        ("repro.core.visibility", "repro.core.pretrain"),
+        "benchmarks/bench_figure07a_visibility.py",
+        "structure mask strictly improves the object-entity recovery probe"),
+    Experiment(
+        "Figure 7b", "MER mask-ratio ablation",
+        ("repro.core.masking", "repro.core.pretrain"),
+        "benchmarks/bench_figure07b_mask_ratio.py",
+        "mid ratios (0.4-0.6) at or above the 0.2 / 0.8 extremes"),
+]
+
+
+def format_registry() -> str:
+    lines = []
+    for experiment in EXPERIMENTS:
+        lines.append(f"{experiment.artifact:10s} {experiment.title}")
+        lines.append(f"{'':10s}   modules : {', '.join(experiment.modules)}")
+        lines.append(f"{'':10s}   bench   : {experiment.benchmark}")
+        lines.append(f"{'':10s}   shape   : {experiment.expected_shape}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_registry())

@@ -1,0 +1,26 @@
+"""Plain-text result-table formatters shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.tasks.metrics import PrecisionRecallF1
+
+
+def format_metric_rows(rows: Mapping[str, PrecisionRecallF1],
+                       method_width: int = 32) -> str:
+    """F1/P/R table in the paper's layout (percentages)."""
+    lines = [f"{'Method':{method_width}s}{'F1':>8s}{'P':>8s}{'R':>8s}"]
+    for name, metrics in rows.items():
+        m = metrics.as_percentages()
+        lines.append(f"{name:{method_width}s}{m.f1:8.2f}{m.precision:8.2f}{m.recall:8.2f}")
+    return "\n".join(lines)
+
+
+def format_pk_rows(rows: Mapping[str, Dict[int, float]],
+                   ks: Sequence[int] = (1, 3, 5, 10)) -> str:
+    """P@K table (percentages)."""
+    lines = [f"{'Method':12s}" + "".join(f"{'P@' + str(k):>8s}" for k in ks)]
+    for name, per_k in rows.items():
+        lines.append(f"{name:12s}" + "".join(f"{100 * per_k[k]:8.2f}" for k in ks))
+    return "\n".join(lines)

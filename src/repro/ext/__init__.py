@@ -1,0 +1,31 @@
+"""Extensions beyond the paper's evaluated scope.
+
+The paper's conclusion names two future-work directions; both are
+implemented here, plus one extra baseline the follow-up literature compares
+against:
+
+- :mod:`repro.ext.numeric` — *"focusing on other types of knowledge such as
+  numerical attributes"*: numeric-cell parsing, quantile binning, and a
+  Masked Value Recovery head that predicts a masked numeric cell's bin from
+  table context.
+- :mod:`repro.ext.kb_injection` — *"incorporating the rich information
+  contained in an external KB into pre-training"*: an ERNIE-style auxiliary
+  objective that predicts the KB relation holding between same-row entity
+  pairs during pre-training.
+- :mod:`repro.ext.tapas_baseline` — a TAPAS-style flat-text table encoder
+  (all cells as tokens with row/column embeddings, full attention, no entity
+  vocabulary), a strong comparison point for the structure-aware design.
+"""
+
+from repro.ext.numeric import NumericBinner, TURLValuePredictor, build_numeric_instances
+from repro.ext.kb_injection import KBInjectionPretrainer, RelationInjectionHead
+from repro.ext.tapas_baseline import TapasStyleColumnTyper
+
+__all__ = [
+    "NumericBinner",
+    "TURLValuePredictor",
+    "build_numeric_instances",
+    "KBInjectionPretrainer",
+    "RelationInjectionHead",
+    "TapasStyleColumnTyper",
+]

@@ -1,0 +1,34 @@
+"""Knowledge-base substrate.
+
+The paper grounds tables in Wikipedia hyperlinks and uses Freebase types and
+relations plus DBpedia descriptions.  None of those resources are available
+offline, so this package provides an equivalent synthetic world:
+
+- :mod:`repro.kb.schema` — a type taxonomy (with the coarse/fine contrast of
+  the paper's Table 6, e.g. ``person`` vs ``actor``) and a relation catalog.
+- :mod:`repro.kb.knowledge_base` — the KB store with entity/fact indexes.
+- :mod:`repro.kb.generator` — a deterministic synthetic-world generator that
+  produces entities, facts, aliases and descriptions.
+- :mod:`repro.kb.lookup` — a fuzzy name-lookup service standing in for the
+  Wikidata Lookup candidate generator used by the entity-linking experiments.
+"""
+
+from repro.kb.schema import TYPE_TAXONOMY, RELATIONS, Relation, ancestors_of, all_types
+from repro.kb.knowledge_base import Entity, Fact, KnowledgeBase
+from repro.kb.generator import WorldConfig, generate_world
+from repro.kb.lookup import LookupService, LookupResult
+
+__all__ = [
+    "TYPE_TAXONOMY",
+    "RELATIONS",
+    "Relation",
+    "ancestors_of",
+    "all_types",
+    "Entity",
+    "Fact",
+    "KnowledgeBase",
+    "WorldConfig",
+    "generate_world",
+    "LookupService",
+    "LookupResult",
+]

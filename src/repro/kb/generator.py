@@ -1,0 +1,293 @@
+"""Synthetic world generation.
+
+:func:`generate_world` builds a coherent knowledge base: countries with
+languages, cities, football clubs with stadiums and athletes, a film industry
+(directors, actors, films), award ceremonies whose winners really direct the
+winning films (the coherence MER must learn to exploit — compare the paper's
+Figure 1, where the award table implies "[Satyajit] directs [Chiriyakhana]"),
+and a music scene (musicians, albums, genres).
+
+Everything is driven by a seeded ``numpy.random.Generator`` so the same
+config always produces the identical world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.kb import names
+from repro.kb.knowledge_base import Entity, KnowledgeBase
+
+
+@dataclass
+class WorldConfig:
+    """Sizing knobs for the synthetic world.
+
+    The defaults produce roughly 1 500 entities — big enough for a realistic
+    entity vocabulary, small enough that pre-training runs on a laptop CPU.
+    """
+
+    seed: int = 0
+    n_countries: int = 10
+    n_cities: int = 60
+    n_clubs: int = 30
+    n_athletes: int = 240
+    n_directors: int = 40
+    n_actors: int = 160
+    n_films: int = 200
+    n_awards_per_country: int = 1
+    n_ceremonies_per_award: int = 18
+    n_musicians: int = 50
+    n_albums: int = 100
+    n_seasons_per_club: int = 3
+    first_season_year: int = 2004
+
+    def scaled(self, factor: float) -> "WorldConfig":
+        """Return a copy with all entity counts multiplied by ``factor``."""
+        scaled = WorldConfig(seed=self.seed)
+        for name in (
+            "n_countries", "n_cities", "n_clubs", "n_athletes", "n_directors",
+            "n_actors", "n_films", "n_musicians", "n_albums",
+        ):
+            setattr(scaled, name, max(1, int(getattr(self, name) * factor)))
+        scaled.n_awards_per_country = self.n_awards_per_country
+        scaled.n_ceremonies_per_award = self.n_ceremonies_per_award
+        scaled.n_seasons_per_club = self.n_seasons_per_club
+        scaled.first_season_year = self.first_season_year
+        return scaled
+
+
+@dataclass
+class _World:
+    """Intermediate bookkeeping while the world is being assembled."""
+
+    kb: KnowledgeBase
+    countries: List[str] = field(default_factory=list)
+    languages: Dict[str, str] = field(default_factory=dict)  # country -> language
+    cities: List[str] = field(default_factory=list)
+    city_country: Dict[str, str] = field(default_factory=dict)
+    clubs: List[str] = field(default_factory=list)
+    athletes: List[str] = field(default_factory=list)
+    directors: List[str] = field(default_factory=list)
+    actors: List[str] = field(default_factory=list)
+    films: List[str] = field(default_factory=list)
+    awards: List[str] = field(default_factory=list)
+    ceremonies: List[str] = field(default_factory=list)
+    musicians: List[str] = field(default_factory=list)
+    albums: List[str] = field(default_factory=list)
+    genres: List[str] = field(default_factory=list)
+    seasons: List[str] = field(default_factory=list)
+
+
+def _add(kb: KnowledgeBase, entity_id: str, name: str, types: List[str],
+         aliases: List[str] = (), description: str = "") -> str:
+    kb.add_entity(Entity(entity_id, name, list(types), list(aliases), description))
+    return entity_id
+
+
+def _choice(rng: np.random.Generator, items: List[str]) -> str:
+    return items[int(rng.integers(len(items)))]
+
+
+def _sample(rng: np.random.Generator, items: List[str], k: int) -> List[str]:
+    k = min(k, len(items))
+    indexes = rng.choice(len(items), size=k, replace=False)
+    return [items[int(i)] for i in indexes]
+
+
+def generate_world(config: WorldConfig = WorldConfig()) -> KnowledgeBase:
+    """Generate the full synthetic knowledge base described by ``config``."""
+    rng = np.random.default_rng(config.seed)
+    world = _World(kb=KnowledgeBase())
+    _make_geography(world, config, rng)
+    _make_football(world, config, rng)
+    _make_film_industry(world, config, rng)
+    _make_awards(world, config, rng)
+    _make_music(world, config, rng)
+    return world.kb
+
+
+def _make_geography(world: _World, config: WorldConfig, rng: np.random.Generator) -> None:
+    kb = world.kb
+    used_names = set()
+    for i in range(config.n_countries):
+        name = names.country_name(rng)
+        while name in used_names:
+            name = names.country_name(rng)
+        used_names.add(name)
+        country_id = _add(kb, f"country_{i:04d}", name, ["country"],
+                          description=f"{name} is a sovereign country.")
+        world.countries.append(country_id)
+
+        language = names.language_name(rng, name)
+        language_id = _add(kb, f"language_{i:04d}", language, ["language"],
+                           description=f"{language} is the official language of {name}.")
+        world.languages[country_id] = language_id
+
+    for i in range(config.n_cities):
+        name = names.city_name(rng)
+        country_id = _choice(rng, world.countries)
+        country = kb.get(country_id).name
+        city_id = _add(kb, f"city_{i:04d}", name, ["citytown"],
+                       description=f"{name} is a city in {country}.")
+        world.cities.append(city_id)
+        world.city_country[city_id] = country_id
+        kb.add_fact(city_id, "city.country", country_id)
+
+
+def _make_person(world: _World, rng: np.random.Generator, entity_id: str,
+                 fine_type: str, occupation: str) -> str:
+    kb = world.kb
+    name = names.person_name(rng)
+    city_id = _choice(rng, world.cities)
+    country_id = world.city_country[city_id]
+    city = kb.get(city_id).name
+    country = kb.get(country_id).name
+    _add(kb, entity_id, name, [fine_type], aliases=names.person_aliases(rng, name),
+         description=f"{name} is a {occupation} from {country}, born in {city}.")
+    kb.add_fact(entity_id, "person.birthplace", city_id)
+    kb.add_fact(entity_id, "person.nationality", country_id)
+    return entity_id
+
+
+def _make_football(world: _World, config: WorldConfig, rng: np.random.Generator) -> None:
+    kb = world.kb
+    for i in range(config.n_clubs):
+        city_id = _choice(rng, world.cities)
+        city = kb.get(city_id).name
+        club_name = names.club_name(rng, city)
+        club_id = _add(kb, f"club_{i:04d}", club_name, ["sports_club"],
+                       aliases=names.club_aliases(club_name),
+                       description=f"{club_name} is a football club based in {city}.")
+        world.clubs.append(club_id)
+        kb.add_fact(club_id, "club.city", city_id)
+
+        stadium_name = names.stadium_name(rng, city)
+        stadium_id = _add(kb, f"stadium_{i:04d}", stadium_name, ["stadium"],
+                          description=f"{stadium_name} is a football stadium in {city}.")
+        kb.add_fact(club_id, "club.stadium", stadium_id)
+
+        for season_index in range(config.n_seasons_per_club):
+            year = config.first_season_year + season_index
+            season_name = f"{year} {club_name} Season"
+            season_id = _add(kb, f"season_{i:04d}_{season_index}", season_name,
+                             ["sports_season"],
+                             description=f"The {year} season of {club_name}.")
+            world.seasons.append(season_id)
+            kb.add_fact(season_id, "season.club", club_id)
+
+    for i in range(config.n_athletes):
+        athlete_id = _make_person(world, rng, f"athlete_{i:05d}", "pro_athlete",
+                                  "professional footballer")
+        world.athletes.append(athlete_id)
+        # Careers span 1-3 clubs, in order: cell filling then faces several
+        # plausible club candidates per athlete, and which one is correct is
+        # determined by table context ("moving from" = previous club,
+        # "club" = current club).  ``objects_of`` preserves insertion order,
+        # so the fact list IS the career order.
+        n_clubs = 1 + int(rng.integers(3))
+        for club_id in _sample(rng, world.clubs, n_clubs):
+            kb.add_fact(athlete_id, "athlete.club", club_id)
+        position = names.POSITIONS[int(rng.integers(len(names.POSITIONS)))]
+        entity = kb.get(athlete_id)
+        entity.description += f" Plays as a {position}."
+
+
+def _make_film_industry(world: _World, config: WorldConfig, rng: np.random.Generator) -> None:
+    kb = world.kb
+    for i in range(config.n_directors):
+        world.directors.append(
+            _make_person(world, rng, f"director_{i:05d}", "director", "film director"))
+    for i in range(config.n_actors):
+        world.actors.append(
+            _make_person(world, rng, f"actor_{i:05d}", "actor", "film actor"))
+
+    used_titles = set()
+    for i in range(config.n_films):
+        title = names.film_title(rng)
+        attempts = 0
+        while title in used_titles and attempts < 5:
+            title = names.film_title(rng)
+            attempts += 1
+        used_titles.add(title)
+
+        director_id = _choice(rng, world.directors)
+        director = kb.get(director_id)
+        country_id = kb.objects_of(director_id, "person.nationality")[0]
+        language_id = world.languages[country_id]
+        year = 1950 + int(rng.integers(70))
+        film_id = _add(
+            kb, f"film_{i:05d}", title, ["film"], aliases=names.film_aliases(title),
+            description=(f"{title} is a {year} {kb.get(language_id).name}-language "
+                         f"film directed by {director.name}."))
+        world.films.append(film_id)
+        kb.add_fact(film_id, "film.director", director_id)
+        kb.add_fact(film_id, "film.language", language_id)
+        kb.add_fact(film_id, "film.country", country_id)
+        for actor_id in _sample(rng, world.actors, 2 + int(rng.integers(3))):
+            kb.add_fact(film_id, "film.starring", actor_id)
+
+
+def _make_awards(world: _World, config: WorldConfig, rng: np.random.Generator) -> None:
+    kb = world.kb
+    award_index = 0
+    for country_id in world.countries:
+        country = kb.get(country_id).name
+        for _ in range(config.n_awards_per_country):
+            award_name = names.award_name(rng, country)
+            award_id = _add(kb, f"award_{award_index:04d}", award_name, ["award"],
+                            description=f"{award_name} is an annual film award of {country}.")
+            world.awards.append(award_id)
+
+            # Ceremony winners and winning films are coherent: the winner is
+            # the director of the winning film.
+            for n in range(1, config.n_ceremonies_per_award + 1):
+                ceremony_name = names.ceremony_name(n, award_name)
+                ceremony_id = _add(
+                    kb, f"ceremony_{award_index:04d}_{n:03d}", ceremony_name,
+                    ["award_ceremony"], aliases=[names.ordinal(n)],
+                    description=f"The {names.ordinal(n)} edition of the {award_name}.")
+                world.ceremonies.append(ceremony_id)
+                kb.add_fact(ceremony_id, "ceremony.award", award_id)
+
+                winner_id = _choice(rng, world.directors)
+                winner_films = kb.subjects_of(winner_id, "film.director")
+                if not winner_films:
+                    continue
+                film_id = _choice(rng, winner_films)
+                kb.add_fact(ceremony_id, "ceremony.winner", winner_id)
+                kb.add_fact(ceremony_id, "ceremony.best_film", film_id)
+            award_index += 1
+
+
+def _make_music(world: _World, config: WorldConfig, rng: np.random.Generator) -> None:
+    kb = world.kb
+    for i, genre in enumerate(names.GENRE_NAMES):
+        genre_id = _add(kb, f"genre_{i:02d}", genre.capitalize(), ["genre"],
+                        description=f"{genre.capitalize()} is a music genre.")
+        world.genres.append(genre_id)
+
+    for i in range(config.n_musicians):
+        world.musicians.append(
+            _make_person(world, rng, f"musician_{i:05d}", "musician", "musician"))
+
+    used_titles = set()
+    for i in range(config.n_albums):
+        title = names.album_title(rng)
+        attempts = 0
+        while title in used_titles and attempts < 5:
+            title = names.album_title(rng)
+            attempts += 1
+        used_titles.add(title)
+        artist_id = _choice(rng, world.musicians)
+        genre_id = _choice(rng, world.genres)
+        album_id = _add(
+            kb, f"album_{i:05d}", title, ["album"],
+            description=(f"{title} is a {kb.get(genre_id).name.lower()} album "
+                         f"by {kb.get(artist_id).name}."))
+        world.albums.append(album_id)
+        kb.add_fact(album_id, "album.artist", artist_id)
+        kb.add_fact(album_id, "album.genre", genre_id)

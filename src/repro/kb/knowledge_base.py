@@ -1,0 +1,155 @@
+"""The knowledge-base store.
+
+A :class:`KnowledgeBase` holds typed, described :class:`Entity` objects and
+directed :class:`Fact` triples, with the indexes the rest of the system
+needs: by subject, by relation, by type, and an inverse index for
+object→subject traversal.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.kb.schema import RELATIONS, expand_types
+
+
+@dataclass
+class Entity:
+    """A KB entity.
+
+    ``types`` stores the most specific type(s); ancestor types are derived via
+    :func:`repro.kb.schema.expand_types` and exposed by :meth:`all_types`.
+    """
+
+    entity_id: str
+    name: str
+    types: List[str]
+    aliases: List[str] = field(default_factory=list)
+    description: str = ""
+
+    def all_types(self) -> List[str]:
+        return expand_types(self.types)
+
+    def mentions(self) -> List[str]:
+        """Every surface form: canonical name plus aliases."""
+        return [self.name] + [a for a in self.aliases if a != self.name]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A directed triple ``(subject, relation, object)`` over entity ids."""
+
+    subject: str
+    relation: str
+    object: str
+
+
+class KnowledgeBase:
+    """Entity + fact store with lookup indexes."""
+
+    def __init__(self) -> None:
+        self.entities: Dict[str, Entity] = {}
+        self.facts: Set[Fact] = set()
+        self._by_subject: Dict[Tuple[str, str], List[str]] = defaultdict(list)
+        self._by_object: Dict[Tuple[str, str], List[str]] = defaultdict(list)
+        self._by_relation: Dict[str, List[Fact]] = defaultdict(list)
+        self._by_type: Dict[str, List[str]] = defaultdict(list)
+
+    # -- construction ----------------------------------------------------
+    def add_entity(self, entity: Entity) -> None:
+        if entity.entity_id in self.entities:
+            raise ValueError(f"duplicate entity id: {entity.entity_id}")
+        self.entities[entity.entity_id] = entity
+        for type_name in entity.all_types():
+            self._by_type[type_name].append(entity.entity_id)
+
+    def add_fact(self, subject: str, relation: str, object_: str) -> None:
+        if relation not in RELATIONS:
+            raise KeyError(f"unknown relation: {relation}")
+        if subject not in self.entities:
+            raise KeyError(f"unknown subject entity: {subject}")
+        if object_ not in self.entities:
+            raise KeyError(f"unknown object entity: {object_}")
+        fact = Fact(subject, relation, object_)
+        if fact in self.facts:
+            return
+        self.facts.add(fact)
+        self._by_subject[(subject, relation)].append(object_)
+        self._by_object[(object_, relation)].append(subject)
+        self._by_relation[relation].append(fact)
+
+    # -- queries ---------------------------------------------------------
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self.entities
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def get(self, entity_id: str) -> Entity:
+        return self.entities[entity_id]
+
+    def objects_of(self, subject: str, relation: str) -> List[str]:
+        """Object entity ids for ``(subject, relation, ?)``."""
+        return list(self._by_subject.get((subject, relation), ()))
+
+    def subjects_of(self, object_: str, relation: str) -> List[str]:
+        """Subject entity ids for ``(?, relation, object)``."""
+        return list(self._by_object.get((object_, relation), ()))
+
+    def facts_of_relation(self, relation: str) -> List[Fact]:
+        return list(self._by_relation.get(relation, ()))
+
+    def entities_of_type(self, type_name: str) -> List[str]:
+        return list(self._by_type.get(type_name, ()))
+
+    def relations_between(self, subject: str, object_: str) -> List[str]:
+        """All relation names holding between two specific entities."""
+        return [
+            relation
+            for relation in RELATIONS
+            if object_ in self._by_subject.get((subject, relation), ())
+        ]
+
+    def has_fact(self, subject: str, relation: str, object_: str) -> bool:
+        return Fact(subject, relation, object_) in self.facts
+
+    def types_of(self, entity_id: str) -> List[str]:
+        return self.entities[entity_id].all_types()
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "entities": [
+                {
+                    "entity_id": e.entity_id,
+                    "name": e.name,
+                    "types": e.types,
+                    "aliases": e.aliases,
+                    "description": e.description,
+                }
+                for e in self.entities.values()
+            ],
+            "facts": [[f.subject, f.relation, f.object] for f in sorted(
+                self.facts, key=lambda f: (f.relation, f.subject, f.object))],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KnowledgeBase":
+        kb = cls()
+        for blob in payload["entities"]:
+            kb.add_entity(Entity(**blob))
+        for subject, relation, object_ in payload["facts"]:
+            kb.add_fact(subject, relation, object_)
+        return kb
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "KnowledgeBase":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,166 @@
+"""Deterministic name factories for the synthetic world.
+
+Names are composed from syllable inventories so the generated world has the
+statistical texture of real Web-table data: shared surnames create genuinely
+ambiguous mentions (homonyms) that exercise entity disambiguation, and city /
+country / film names share sub-strings the tokenizer must segment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+FIRST_SYLLABLES = [
+    "an", "bel", "cor", "dan", "el", "far", "gil", "han", "is", "jor",
+    "kal", "lem", "mar", "nor", "ol", "per", "quin", "ros", "sal", "tam",
+]
+SECOND_SYLLABLES = [
+    "a", "do", "en", "ia", "io", "ka", "la", "mi", "na", "o",
+    "ra", "sa", "ta", "u", "vi", "win", "ya", "zo",
+]
+SURNAME_ROOTS = [
+    "ald", "bern", "cald", "dorn", "ever", "fenn", "gart", "hale", "ives",
+    "jens", "kerr", "lund", "mont", "nash", "orr", "penn", "quill", "roth",
+    "sten", "thorn", "umber", "vance", "wick", "yates", "zell",
+]
+SURNAME_SUFFIXES = ["son", "er", "ley", "man", "wood", "field", "well", "by"]
+
+CITY_ROOTS = [
+    "ash", "bright", "clear", "deep", "east", "fair", "green", "high",
+    "iron", "long", "mill", "new", "oak", "red", "stone", "swift",
+    "west", "white", "wolf", "york",
+]
+CITY_SUFFIXES = ["ton", "ville", "burg", "ford", "port", "field", "mouth", "haven", "bury", "dale"]
+
+COUNTRY_ROOTS = [
+    "alvar", "brend", "casp", "dorv", "elst", "fenr", "gall", "harv",
+    "istr", "jolm", "kest", "lorn", "morv", "nadir", "ostr", "palt",
+]
+COUNTRY_SUFFIXES = ["ia", "land", "mark", "stan", "ora"]
+
+LANGUAGE_SUFFIXES = ["ish", "ese", "ic", "ian"]
+
+FILM_ADJECTIVES = [
+    "silent", "golden", "broken", "hidden", "burning", "distant", "crimson",
+    "endless", "falling", "frozen", "lonely", "midnight", "pale", "restless",
+    "rising", "scarlet", "shattered", "stolen", "wandering", "winter",
+]
+FILM_NOUNS = [
+    "river", "crown", "mirror", "garden", "letter", "horizon", "shadow",
+    "voyage", "harvest", "lantern", "orchard", "bridge", "station", "archive",
+    "compass", "island", "monument", "passage", "symphony", "threshold",
+]
+GENRE_NAMES = ["folk", "jazz", "rock", "classical", "electronic", "blues", "soul", "ambient"]
+AWARD_CATEGORIES = [
+    "direction", "picture", "screenplay", "cinematography", "editing",
+    "original score", "production design", "documentary",
+]
+CLUB_WORDS = ["united", "city", "athletic", "rovers", "wanderers", "dynamo", "rangers", "albion"]
+POSITIONS = ["goalkeeper", "defender", "midfielder", "forward", "winger", "striker"]
+STADIUM_WORDS = ["park", "arena", "grounds", "stadium", "field"]
+ALBUM_NOUNS = [
+    "echo", "ember", "tide", "aurora", "cascade", "prism", "velvet",
+    "meridian", "solstice", "mosaic", "drift", "halcyon",
+]
+
+
+def _pick(rng: np.random.Generator, items: Sequence[str]) -> str:
+    return items[int(rng.integers(len(items)))]
+
+
+def _title(words: str) -> str:
+    return " ".join(w.capitalize() for w in words.split())
+
+
+def person_name(rng: np.random.Generator) -> str:
+    first = _pick(rng, FIRST_SYLLABLES) + _pick(rng, SECOND_SYLLABLES)
+    last = _pick(rng, SURNAME_ROOTS) + _pick(rng, SURNAME_SUFFIXES)
+    return _title(f"{first} {last}")
+
+
+def person_aliases(rng: np.random.Generator, name: str) -> List[str]:
+    """Alias variants for a person: surname only, initial + surname."""
+    first, last = name.split(" ", 1)
+    aliases = [last, f"{first[0]}. {last}"]
+    if rng.random() < 0.3:
+        aliases.append(first)
+    return aliases
+
+
+def city_name(rng: np.random.Generator) -> str:
+    return _title(_pick(rng, CITY_ROOTS) + _pick(rng, CITY_SUFFIXES))
+
+
+def country_name(rng: np.random.Generator) -> str:
+    return _title(_pick(rng, COUNTRY_ROOTS) + _pick(rng, COUNTRY_SUFFIXES))
+
+
+def language_name(rng: np.random.Generator, country: str) -> str:
+    root = country.lower()
+    for suffix in COUNTRY_SUFFIXES:
+        if root.endswith(suffix):
+            root = root[: -len(suffix)]
+            break
+    return _title(root + _pick(rng, LANGUAGE_SUFFIXES))
+
+
+def film_title(rng: np.random.Generator) -> str:
+    style = rng.random()
+    adjective = _pick(rng, FILM_ADJECTIVES)
+    noun = _pick(rng, FILM_NOUNS)
+    if style < 0.5:
+        return _title(f"the {adjective} {noun}")
+    if style < 0.8:
+        return _title(f"{adjective} {noun}")
+    second_noun = _pick(rng, FILM_NOUNS)
+    return _title(f"{noun} of the {second_noun}")
+
+
+def film_aliases(title: str) -> List[str]:
+    if title.lower().startswith("the "):
+        return [title[4:]]
+    return []
+
+
+def club_name(rng: np.random.Generator, city: str) -> str:
+    return _title(f"{city} {_pick(rng, CLUB_WORDS)}")
+
+
+def club_aliases(name: str) -> List[str]:
+    parts = name.split()
+    # "Ashton United" -> "Ashton", "AU".
+    aliases = [parts[0]]
+    if len(parts) >= 2:
+        aliases.append("".join(p[0].upper() for p in parts))
+    return aliases
+
+
+def stadium_name(rng: np.random.Generator, city: str) -> str:
+    return _title(f"{city} {_pick(rng, STADIUM_WORDS)}")
+
+
+def award_name(rng: np.random.Generator, country: str) -> str:
+    category = _pick(rng, AWARD_CATEGORIES)
+    return _title(f"{country} film award for best {category}")
+
+
+def ordinal(n: int) -> str:
+    if 10 <= n % 100 <= 20:
+        suffix = "th"
+    else:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(n % 10, "th")
+    return f"{n}{suffix}"
+
+
+def ceremony_name(n: int, award: str) -> str:
+    return f"{ordinal(n)} {award}"
+
+
+def album_title(rng: np.random.Generator) -> str:
+    style = rng.random()
+    noun = _pick(rng, ALBUM_NOUNS)
+    if style < 0.4:
+        return _title(noun)
+    return _title(f"{_pick(rng, FILM_ADJECTIVES)} {noun}")

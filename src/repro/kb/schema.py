@@ -1,0 +1,107 @@
+"""Type taxonomy and relation catalog for the synthetic knowledge base.
+
+The taxonomy deliberately contains both coarse types (``person``,
+``location``) and fine-grained subtypes (``actor``, ``citytown``) so the
+column-type-annotation experiment reproduces the paper's Table 6 contrast:
+coarse types are easy, fine types need table context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: child type -> parent type (None for roots).  An entity tagged with a type
+#: implicitly carries every ancestor type as well.
+TYPE_TAXONOMY: Dict[str, Optional[str]] = {
+    "person": None,
+    "pro_athlete": "person",
+    "actor": "person",
+    "director": "person",
+    "musician": "person",
+    "location": None,
+    "citytown": "location",
+    "country": "location",
+    "stadium": "location",
+    "organization": None,
+    "sports_club": "organization",
+    "creative_work": None,
+    "film": "creative_work",
+    "album": "creative_work",
+    "event": None,
+    "award_ceremony": "event",
+    "sports_season": "event",
+    "award": None,
+    "language": None,
+    "genre": None,
+}
+
+
+def ancestors_of(type_name: str) -> List[str]:
+    """Return ``type_name`` plus all its ancestors, most specific first."""
+    chain: List[str] = []
+    current: Optional[str] = type_name
+    while current is not None:
+        if current not in TYPE_TAXONOMY:
+            raise KeyError(f"unknown type: {current}")
+        chain.append(current)
+        current = TYPE_TAXONOMY[current]
+    return chain
+
+
+def expand_types(type_names) -> List[str]:
+    """Expand a list of types with all ancestors (deduplicated, ordered)."""
+    seen: List[str] = []
+    for name in type_names:
+        for ancestor in ancestors_of(name):
+            if ancestor not in seen:
+                seen.append(ancestor)
+    return seen
+
+
+def all_types() -> List[str]:
+    return list(TYPE_TAXONOMY)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A directed KB relation with domain and range types."""
+
+    name: str
+    domain: str
+    range: str
+    #: Header phrases under which this relation typically appears in tables.
+    header_phrases: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The relation catalog; the generator instantiates facts for each of these.
+RELATIONS: Dict[str, Relation] = {
+    relation.name: relation
+    for relation in [
+        Relation("film.director", "film", "director", ("director", "directed by")),
+        Relation("film.starring", "film", "actor", ("starring", "lead actor", "cast")),
+        Relation("film.language", "film", "language", ("language",)),
+        Relation("film.country", "film", "country", ("country",)),
+        Relation("person.birthplace", "person", "citytown", ("birthplace", "place of birth", "born in")),
+        Relation("person.nationality", "person", "country", ("nationality", "country")),
+        Relation("athlete.club", "pro_athlete", "sports_club", ("club", "team", "current club")),
+        Relation("club.city", "sports_club", "citytown", ("city", "home city", "location")),
+        Relation("club.stadium", "sports_club", "stadium", ("stadium", "ground", "home ground", "venue")),
+        Relation("city.country", "citytown", "country", ("country",)),
+        Relation("ceremony.award", "award_ceremony", "award", ("award",)),
+        Relation("ceremony.winner", "award_ceremony", "director", ("recipient", "winner", "awardee")),
+        Relation("ceremony.best_film", "award_ceremony", "film", ("film", "winning film", "work")),
+        Relation("album.artist", "album", "musician", ("artist", "performer", "musician")),
+        Relation("album.genre", "album", "genre", ("genre", "style")),
+        Relation("season.club", "sports_season", "sports_club", ("club", "team")),
+    ]
+}
+
+
+def relations_with_domain(type_name: str) -> List[Relation]:
+    """All relations whose domain accepts an entity of ``type_name``."""
+    mine = set(ancestors_of(type_name))
+    return [r for r in RELATIONS.values() if r.domain in mine]

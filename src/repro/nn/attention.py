@@ -1,0 +1,84 @@
+"""Multi-head scaled dot-product attention with an additive visibility mask.
+
+Equation (4) of the paper: attention logits are masked by the visibility
+matrix ``M`` before the softmax.  We implement the mask additively — masked
+positions receive a large negative logit — which is numerically equivalent to
+the paper's element-wise product formulation for binary masks and is the
+standard trick used by Transformer implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+MASKED_LOGIT = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention.
+
+    Parameters
+    ----------
+    dim:
+        Model (input/output) dimension, ``d_model`` in the paper.
+    num_heads:
+        Number of attention heads ``k``; must divide ``dim``.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.output = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        # (B, L, D) -> (B, H, L, Dh)
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, hidden: Tensor, visibility: Optional[np.ndarray] = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        hidden:
+            Input of shape ``(batch, length, dim)``.
+        visibility:
+            Optional boolean array of shape ``(batch, length, length)`` (or
+            ``(length, length)``); ``True`` means *visible*.  Invisible pairs
+            get ``MASKED_LOGIT`` added before the softmax.
+        """
+        batch, length, _ = hidden.shape
+        q = self._split_heads(self.query(hidden), batch, length)
+        k = self._split_heads(self.key(hidden), batch, length)
+        v = self._split_heads(self.value(hidden), batch, length)
+
+        logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if visibility is not None:
+            mask = np.asarray(visibility, dtype=bool)
+            if mask.ndim == 2:
+                mask = np.broadcast_to(mask[None, :, :], (batch, length, length))
+            if mask.shape != (batch, length, length):
+                raise ValueError(
+                    f"visibility shape {mask.shape} incompatible with ({batch}, {length}, {length})"
+                )
+            # Broadcast over the head axis.
+            logits = logits.masked_fill(~mask[:, None, :, :], MASKED_LOGIT)
+
+        weights = logits.softmax(axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ v  # (B, H, L, Dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.output(context)

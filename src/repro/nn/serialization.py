@@ -1,0 +1,27 @@
+"""Checkpoint (de)serialization for module state dicts.
+
+State dicts are flat ``name -> ndarray`` mappings; we persist them as
+compressed ``.npz`` archives, with ``/`` substituted for ``.`` in keys since
+NumPy forbids dots in archive member names on some versions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (``.npz`` format)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    encoded = {name.replace(".", "/"): array for name, array in state.items()}
+    np.savez_compressed(path, **encoded)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {name.replace("/", "."): archive[name] for name in archive.files}

@@ -1,0 +1,22 @@
+"""Retrieval substrate used by candidate generation and baselines.
+
+- :mod:`repro.retrieval.bm25` — Okapi BM25, the candidate-table retrieval
+  used by the row-population experiments (Section 6.5);
+- :mod:`repro.retrieval.tfidf` — tf-idf vectors + cosine similarity, used by
+  the kNN schema-augmentation baseline (Section 6.7);
+- :mod:`repro.retrieval.word2vec` — a from-scratch skip-gram model with
+  negative sampling, the substrate behind the Table2Vec [11] and H2V
+  baselines.
+"""
+
+from repro.retrieval.bm25 import BM25Index
+from repro.retrieval.tfidf import TfIdfVectorizer, cosine_similarity
+from repro.retrieval.word2vec import Word2Vec, Word2VecConfig
+
+__all__ = [
+    "BM25Index",
+    "TfIdfVectorizer",
+    "cosine_similarity",
+    "Word2Vec",
+    "Word2VecConfig",
+]

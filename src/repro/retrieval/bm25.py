@@ -1,0 +1,67 @@
+"""Okapi BM25 ranking over a document collection."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.text.tokenizer import basic_tokenize
+
+
+class BM25Index:
+    """An inverted index with BM25 scoring.
+
+    Parameters follow the classic Okapi defaults (``k1=1.5``, ``b=0.75``).
+    Documents are identified by the string keys supplied at construction.
+    """
+
+    def __init__(self, documents: Dict[str, str], k1: float = 1.5, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self.doc_ids: List[str] = list(documents)
+        self._doc_terms: Dict[str, Counter] = {}
+        self._doc_lengths: Dict[str, int] = {}
+        self._postings: Dict[str, List[str]] = defaultdict(list)
+
+        for doc_id, text in documents.items():
+            terms = Counter(basic_tokenize(text))
+            self._doc_terms[doc_id] = terms
+            self._doc_lengths[doc_id] = sum(terms.values())
+            for term in terms:
+                self._postings[term].append(doc_id)
+
+        n_docs = max(1, len(documents))
+        self._avg_length = (sum(self._doc_lengths.values()) / n_docs) or 1.0
+        self._idf: Dict[str, float] = {
+            term: math.log(1.0 + (n_docs - len(docs) + 0.5) / (len(docs) + 0.5))
+            for term, docs in self._postings.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def score(self, query: str, doc_id: str) -> float:
+        """BM25 score of one document for ``query``."""
+        terms = self._doc_terms.get(doc_id)
+        if terms is None:
+            raise KeyError(f"unknown document: {doc_id}")
+        length_norm = 1.0 - self.b + self.b * self._doc_lengths[doc_id] / self._avg_length
+        total = 0.0
+        for term in basic_tokenize(query):
+            tf = terms.get(term, 0)
+            if not tf:
+                continue
+            idf = self._idf.get(term, 0.0)
+            total += idf * tf * (self.k1 + 1.0) / (tf + self.k1 * length_norm)
+        return total
+
+    def search(self, query: str, k: int = 10) -> List[Tuple[str, float]]:
+        """Top-``k`` documents for ``query`` as ``(doc_id, score)`` pairs."""
+        candidates: set = set()
+        for term in basic_tokenize(query):
+            candidates.update(self._postings.get(term, ()))
+        scored = [(doc_id, self.score(query, doc_id)) for doc_id in candidates]
+        scored = [(doc_id, s) for doc_id, s in scored if s > 0]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:k]

@@ -1,0 +1,54 @@
+"""tf-idf vectorization and cosine similarity (kNN baseline substrate)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.text.tokenizer import basic_tokenize
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two dense vectors (0 for zero vectors)."""
+    norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if norm == 0.0:
+        return 0.0
+    return float(a @ b / norm)
+
+
+class TfIdfVectorizer:
+    """Fits idf weights on a corpus and produces dense tf-idf vectors."""
+
+    def __init__(self):
+        self.vocabulary: Dict[str, int] = {}
+        self.idf: np.ndarray = np.zeros(0)
+
+    def fit(self, documents: Iterable[str]) -> "TfIdfVectorizer":
+        documents = list(documents)
+        doc_frequency: Counter = Counter()
+        for text in documents:
+            doc_frequency.update(set(basic_tokenize(text)))
+        self.vocabulary = {term: i for i, term in enumerate(sorted(doc_frequency))}
+        n_docs = max(1, len(documents))
+        self.idf = np.zeros(len(self.vocabulary))
+        for term, index in self.vocabulary.items():
+            self.idf[index] = math.log((1.0 + n_docs) / (1.0 + doc_frequency[term])) + 1.0
+        return self
+
+    def transform(self, text: str) -> np.ndarray:
+        """L2-normalized tf-idf vector for ``text``."""
+        if not self.vocabulary:
+            raise RuntimeError("vectorizer is not fitted")
+        vector = np.zeros(len(self.vocabulary))
+        for term, count in Counter(basic_tokenize(text)).items():
+            index = self.vocabulary.get(term)
+            if index is not None:
+                vector[index] = count * self.idf[index]
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm else vector
+
+    def transform_many(self, documents: Iterable[str]) -> np.ndarray:
+        return np.stack([self.transform(text) for text in documents])

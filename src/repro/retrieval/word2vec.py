@@ -1,0 +1,140 @@
+"""Skip-gram Word2Vec with negative sampling, from scratch on NumPy.
+
+This is the substrate for the Table2Vec [11] baseline (fixed entity
+embeddings trained on serialized tables) and the H2V cell-filling baseline
+(header embeddings).  It deliberately reproduces what the paper criticizes
+about [11]: a *shallow* model producing one fixed vector per item, with no
+context sensitivity — the contrast TURL is evaluated against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Word2VecConfig:
+    dim: int = 32
+    window: int = 4
+    negatives: int = 5
+    epochs: int = 3
+    learning_rate: float = 0.05
+    min_count: int = 1
+    seed: int = 0
+
+
+class Word2Vec:
+    """Skip-gram with negative sampling over token sequences.
+
+    Tokens are arbitrary hashable strings — words, entity ids, or headers —
+    so the same model trains word, entity and header embeddings.
+    """
+
+    def __init__(self, config: Word2VecConfig = Word2VecConfig()):
+        self.config = config
+        self.vocabulary: Dict[str, int] = {}
+        self.inverse: List[str] = []
+        self.input_vectors: np.ndarray = np.zeros((0, config.dim))
+        self.output_vectors: np.ndarray = np.zeros((0, config.dim))
+        self._sampling: Optional[np.ndarray] = None
+
+    # -- vocabulary ----------------------------------------------------------
+    def _build_vocab(self, sentences: Sequence[Sequence[str]]) -> None:
+        counts: Counter = Counter()
+        for sentence in sentences:
+            counts.update(sentence)
+        kept = [t for t, c in counts.most_common() if c >= self.config.min_count]
+        self.vocabulary = {token: i for i, token in enumerate(kept)}
+        self.inverse = kept
+        frequencies = np.array([counts[t] for t in kept], dtype=np.float64)
+        weights = frequencies**0.75
+        self._sampling = weights / weights.sum()
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.vocabulary
+
+    # -- training --------------------------------------------------------
+    def train(self, sentences: Sequence[Sequence[str]]) -> "Word2Vec":
+        """Train on tokenized sentences (lists of string tokens)."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        self._build_vocab(sentences)
+        n = len(self.vocabulary)
+        if n == 0:
+            raise ValueError("empty vocabulary; nothing to train on")
+        scale = 0.5 / config.dim
+        self.input_vectors = rng.uniform(-scale, scale, size=(n, config.dim))
+        self.output_vectors = np.zeros((n, config.dim))
+
+        encoded = [
+            [self.vocabulary[t] for t in sentence if t in self.vocabulary]
+            for sentence in sentences
+        ]
+        encoded = [s for s in encoded if len(s) >= 2]
+
+        for _ in range(config.epochs):
+            order = rng.permutation(len(encoded))
+            for sentence_index in order:
+                sentence = encoded[int(sentence_index)]
+                for position, center in enumerate(sentence):
+                    window = int(rng.integers(1, config.window + 1))
+                    start = max(0, position - window)
+                    stop = min(len(sentence), position + window + 1)
+                    for context_position in range(start, stop):
+                        if context_position == position:
+                            continue
+                        context = sentence[context_position]
+                        self._update(center, context, rng)
+        return self
+
+    def _update(self, center: int, context: int, rng: np.random.Generator) -> None:
+        config = self.config
+        negatives = rng.choice(len(self.vocabulary), size=config.negatives,
+                               p=self._sampling)
+        targets = np.concatenate([[context], negatives])
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+
+        v = self.input_vectors[center]
+        u = self.output_vectors[targets]  # (1+neg, dim)
+        scores = 1.0 / (1.0 + np.exp(-np.clip(u @ v, -30, 30)))
+        gradient = (scores - labels)[:, None]  # d loss / d (u·v)
+        grad_v = (gradient * u).sum(axis=0)
+        self.output_vectors[targets] -= config.learning_rate * gradient * v[None, :]
+        self.input_vectors[center] -= config.learning_rate * grad_v
+
+    # -- queries ------------------------------------------------------------
+    def vector(self, token: str) -> Optional[np.ndarray]:
+        index = self.vocabulary.get(token)
+        if index is None:
+            return None
+        return self.input_vectors[index]
+
+    def similarity(self, a: str, b: str) -> float:
+        va, vb = self.vector(a), self.vector(b)
+        if va is None or vb is None:
+            return 0.0
+        norm = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        return float(va @ vb / norm) if norm else 0.0
+
+    def most_similar(self, token: str, k: int = 10) -> List[tuple]:
+        v = self.vector(token)
+        if v is None:
+            return []
+        norms = np.linalg.norm(self.input_vectors, axis=1) * np.linalg.norm(v)
+        norms[norms == 0] = 1e-12
+        scores = self.input_vectors @ v / norms
+        order = np.argsort(-scores)
+        results = []
+        for index in order:
+            candidate = self.inverse[int(index)]
+            if candidate == token:
+                continue
+            results.append((candidate, float(scores[int(index)])))
+            if len(results) == k:
+                break
+        return results

@@ -1,0 +1,31 @@
+"""TUBE: the table understanding benchmark (paper Section 6).
+
+Six tasks, each with a dataset builder over the corpus splits, a TURL
+fine-tuning routine, and evaluation producing the metrics reported in the
+paper's tables:
+
+=====================  =======================  ====================
+Task                   Paper artifact           Module
+=====================  =======================  ====================
+Entity linking         Table 4                  entity_linking
+Column type annot.     Tables 5–6               column_type
+Relation extraction    Table 7, Figure 6        relation_extraction
+Row population         Table 8                  row_population
+Cell filling           Table 9                  cell_filling
+Schema augmentation    Tables 10–11             schema_augmentation
+=====================  =======================  ====================
+"""
+
+from repro.tasks.metrics import (
+    PrecisionRecallF1,
+    average_precision,
+    mean_average_precision,
+    precision_at_k,
+)
+
+__all__ = [
+    "PrecisionRecallF1",
+    "average_precision",
+    "mean_average_precision",
+    "precision_at_k",
+]

@@ -1,0 +1,108 @@
+"""Shared encoding utilities for fine-tuning tasks.
+
+Downstream tasks feed tables to the encoder under different *input
+ablations* (paper Tables 4–7): with/without table metadata, with/without
+pre-trained entity embeddings, with/without entity mentions.  This module
+centralizes those switches plus the column-pooling of Eqn. 9.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.linearize import KIND_HEADER, TableInstance
+from repro.data.table import Table
+from repro.nn import Tensor, concat
+from repro.text.vocab import MASK_ID, PAD_ID
+
+
+@dataclass
+class InputAblation:
+    """Which input signals reach the encoder (paper Tables 5 and 7 rows)."""
+
+    use_metadata: bool = True
+    use_entity_embedding: bool = True
+    use_mention: bool = True
+
+    @classmethod
+    def full(cls) -> "InputAblation":
+        return cls()
+
+    @classmethod
+    def only_mention(cls) -> "InputAblation":
+        return cls(use_metadata=False, use_entity_embedding=False)
+
+    @classmethod
+    def without_metadata(cls) -> "InputAblation":
+        return cls(use_metadata=False)
+
+    @classmethod
+    def without_entity_embedding(cls) -> "InputAblation":
+        return cls(use_entity_embedding=False)
+
+    @classmethod
+    def only_metadata(cls) -> "InputAblation":
+        return cls(use_entity_embedding=False, use_mention=False)
+
+    @classmethod
+    def only_entity_embedding(cls) -> "InputAblation":
+        return cls(use_metadata=False, use_mention=False)
+
+
+def strip_metadata(table: Table) -> Table:
+    """A copy of ``table`` with caption and headers blanked out."""
+    stripped = copy.deepcopy(table)
+    stripped.page_title = ""
+    stripped.section_title = ""
+    stripped.caption = ""
+    for column in stripped.columns:
+        column.header = ""
+    return stripped
+
+
+def apply_ablation_to_batch(batch: Dict[str, np.ndarray],
+                            ablation: InputAblation) -> Dict[str, np.ndarray]:
+    """Mask entity embeddings / mentions in a collated batch in place."""
+    if not ablation.use_entity_embedding:
+        real = batch["entity_mask"] & (batch["entity_ids"] != PAD_ID)
+        ids = batch["entity_ids"].copy()
+        ids[real] = MASK_ID
+        batch["entity_ids"] = ids
+    if not ablation.use_mention:
+        batch["mention_masked"] = batch["entity_mask"].copy()
+    return batch
+
+
+def column_header_positions(instance: TableInstance, col: int) -> np.ndarray:
+    return np.where((instance.token_kind == KIND_HEADER)
+                    & (instance.token_col == col))[0]
+
+
+def column_entity_positions(instance: TableInstance, col: int) -> np.ndarray:
+    return np.where(instance.entity_col == col)[0]
+
+
+def column_representation(token_hidden: Tensor, entity_hidden: Tensor,
+                          instance: TableInstance, col: int) -> Tensor:
+    """Eqn. 9: ``h_c = [MEAN(header token reps); MEAN(entity cell reps)]``.
+
+    ``token_hidden`` / ``entity_hidden`` are single-table slices of shape
+    ``(Lt, d)`` / ``(Le, d)``.  Missing headers or entities contribute a zero
+    half, so ablated inputs still produce well-formed vectors.
+    """
+    dim = token_hidden.shape[-1]
+    header_positions = column_header_positions(instance, col)
+    entity_positions = column_entity_positions(instance, col)
+    if len(header_positions):
+        header_part = token_hidden[header_positions].mean(axis=0)
+    else:
+        header_part = Tensor(np.zeros(dim))
+    if len(entity_positions):
+        entity_part = entity_hidden[entity_positions].mean(axis=0)
+    else:
+        entity_part = Tensor(np.zeros(dim))
+    return concat([header_part, entity_part], axis=-1)

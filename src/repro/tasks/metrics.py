@@ -1,0 +1,87 @@
+"""Evaluation metrics used across the benchmark tasks.
+
+- Micro precision / recall / F1 for classification-style tasks (entity
+  linking, column type annotation, relation extraction);
+- average precision / MAP for ranking tasks (row population, schema
+  augmentation, the Figure 6 curve);
+- precision@K for cell filling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+
+@dataclass
+class PrecisionRecallF1:
+    """Micro-averaged classification metrics."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def from_counts(cls, true_positives: int, false_positives: int,
+                    false_negatives: int) -> "PrecisionRecallF1":
+        precision = (true_positives / (true_positives + false_positives)
+                     if true_positives + false_positives else 0.0)
+        recall = (true_positives / (true_positives + false_negatives)
+                  if true_positives + false_negatives else 0.0)
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        return cls(precision, recall, f1)
+
+    def as_percentages(self) -> "PrecisionRecallF1":
+        return PrecisionRecallF1(self.precision * 100, self.recall * 100, self.f1 * 100)
+
+    def __str__(self) -> str:
+        return f"F1={self.f1:.4f} P={self.precision:.4f} R={self.recall:.4f}"
+
+
+def multilabel_micro_prf(predictions: Sequence[Set], truths: Sequence[Set]) -> PrecisionRecallF1:
+    """Micro P/R/F1 over multi-label prediction sets."""
+    tp = fp = fn = 0
+    for predicted, truth in zip(predictions, truths):
+        tp += len(predicted & truth)
+        fp += len(predicted - truth)
+        fn += len(truth - predicted)
+    return PrecisionRecallF1.from_counts(tp, fp, fn)
+
+
+def average_precision(ranked: Sequence, relevant: Set) -> float:
+    """AP of a ranked list against a relevant set (0 if nothing relevant)."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for index, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / index
+    return total / len(relevant)
+
+
+def mean_average_precision(ranked_lists: Iterable[Sequence],
+                           relevant_sets: Iterable[Set]) -> float:
+    """MAP over parallel iterables of rankings and relevance sets."""
+    scores = [average_precision(ranked, relevant)
+              for ranked, relevant in zip(ranked_lists, relevant_sets)]
+    return float(sum(scores) / len(scores)) if scores else 0.0
+
+
+def precision_at_k(ranked: Sequence, relevant: Set, k: int) -> float:
+    """1.0 if any of the top-``k`` items is relevant, else 0.0.
+
+    Cell filling has exactly one correct entity per instance, so P@K reduces
+    to hit@K, matching the paper's usage.
+    """
+    return 1.0 if any(item in relevant for item in ranked[:k]) else 0.0
+
+
+def recall_at_k(ranked: Sequence, relevant: Set, k: int) -> float:
+    """Fraction of relevant items found in the top ``k``."""
+    if not relevant:
+        return 0.0
+    found = sum(1 for item in ranked[:k] if item in relevant)
+    return found / len(relevant)

@@ -1,0 +1,19 @@
+"""Text substrate: tokenization and vocabularies.
+
+The paper builds its token vocabulary with the BERT tokenizer (30 522
+WordPiece tokens).  We implement a trainable WordPiece-style tokenizer from
+scratch: a vocabulary of whole words, subword continuation pieces (``##x``)
+and characters is learned from a corpus, and text is tokenized by greedy
+longest-match-first segmentation, exactly the inference algorithm BERT uses.
+"""
+
+from repro.text.tokenizer import WordPieceTokenizer, basic_tokenize
+from repro.text.vocab import Vocabulary, EntityVocabulary, SPECIAL_TOKENS
+
+__all__ = [
+    "WordPieceTokenizer",
+    "basic_tokenize",
+    "Vocabulary",
+    "EntityVocabulary",
+    "SPECIAL_TOKENS",
+]

@@ -1,0 +1,154 @@
+"""Trainable WordPiece-style tokenizer.
+
+Training collects word frequencies from a corpus and keeps: (a) all single
+characters seen (so segmentation never fails to [UNK] for known alphabets),
+(b) frequent whole words, and (c) frequent ``##``-prefixed suffix pieces
+harvested from words.  Tokenization lower-cases, splits on
+whitespace/punctuation (punctuation becomes its own token, as in BERT's basic
+tokenizer) and then greedily matches the longest known piece left-to-right.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.text.vocab import SPECIAL_TOKENS, UNK_ID, Vocabulary
+
+_WORD_RE = re.compile(r"[a-z0-9]+|[^\sa-z0-9]")
+
+
+def basic_tokenize(text: str) -> List[str]:
+    """Lower-case and split into words and single punctuation marks."""
+    return _WORD_RE.findall(text.lower())
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first subword tokenizer.
+
+    Use :meth:`train` to learn a vocabulary from raw text, then
+    :meth:`tokenize` / :meth:`encode` at inference time.
+    """
+
+    def __init__(self, vocab: Optional[Vocabulary] = None,
+                 max_word_chars: int = 32):
+        self.vocab = vocab if vocab is not None else Vocabulary()
+        self.max_word_chars = max_word_chars
+
+    # -- training ---------------------------------------------------------
+    @classmethod
+    def train(cls, texts: Iterable[str], vocab_size: int = 8000,
+              min_frequency: int = 2, max_word_chars: int = 32) -> "WordPieceTokenizer":
+        """Learn a WordPiece vocabulary from ``texts``.
+
+        Whole words and suffix pieces compete for the remaining slots by
+        frequency after all seen characters are admitted.
+        """
+        word_counts: Counter = Counter()
+        char_counts: Counter = Counter()
+        for text in texts:
+            for word in basic_tokenize(text):
+                word_counts[word] += 1
+                char_counts.update(word)
+
+        piece_counts: Counter = Counter()
+        for word, count in word_counts.items():
+            if len(word) < 2:
+                continue
+            # Harvest suffix continuation pieces of length 2..4.
+            for start in range(1, len(word)):
+                for width in range(2, 5):
+                    piece = word[start:start + width]
+                    if len(piece) == width:
+                        piece_counts[f"##{piece}"] += count
+
+        vocab = Vocabulary()
+        # Characters first (both bare and continuation form) so any
+        # lowercase-latin/digit word can always be segmented, plus any extra
+        # characters actually seen in the corpus.
+        alphabet = set("abcdefghijklmnopqrstuvwxyz0123456789") | set(char_counts)
+        for char in sorted(alphabet):
+            vocab.add(char)
+            vocab.add(f"##{char}")
+
+        candidates = Counter()
+        for word, count in word_counts.items():
+            if count >= min_frequency:
+                candidates[word] = count
+        for piece, count in piece_counts.items():
+            if count >= min_frequency * 4:  # suffixes must be clearly reusable
+                candidates[piece] = count
+        for token, _count in candidates.most_common():
+            if len(vocab) >= vocab_size:
+                break
+            vocab.add(token)
+        return cls(vocab, max_word_chars=max_word_chars)
+
+    # -- inference ----------------------------------------------------------
+    def _wordpiece(self, word: str) -> List[str]:
+        if len(word) > self.max_word_chars:
+            return ["[UNK]"]
+        pieces: List[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while start < end:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = f"##{candidate}"
+                if candidate in self.vocab:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return ["[UNK]"]
+            pieces.append(piece)
+            start = end
+        return pieces
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split ``text`` into WordPiece tokens."""
+        tokens: List[str] = []
+        for word in basic_tokenize(text):
+            tokens.extend(self._wordpiece(word))
+        return tokens
+
+    def encode(self, text: str, max_length: Optional[int] = None) -> List[int]:
+        """Tokenize and map to ids, optionally truncating to ``max_length``."""
+        ids = [self.vocab.id_of(t) for t in self.tokenize(text)]
+        if max_length is not None:
+            ids = ids[:max_length]
+        return ids
+
+    def decode(self, ids: Sequence[int]) -> str:
+        """Best-effort inverse of :meth:`encode` (for debugging/examples)."""
+        words: List[str] = []
+        for token_id in ids:
+            token = self.vocab.token_of(token_id)
+            if token in SPECIAL_TOKENS:
+                continue
+            if token.startswith("##") and words:
+                words[-1] += token[2:]
+            else:
+                words.append(token)
+        return " ".join(words)
+
+    @property
+    def unk_id(self) -> int:
+        return UNK_ID
+
+    # -- persistence ----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "vocab": json.loads(self.vocab.to_json()),
+            "max_word_chars": self.max_word_chars,
+        })
+
+    @classmethod
+    def from_json(cls, payload: str) -> "WordPieceTokenizer":
+        blob: Dict = json.loads(payload)
+        vocab = Vocabulary.from_json(json.dumps(blob["vocab"]))
+        return cls(vocab, max_word_chars=blob["max_word_chars"])

@@ -1,0 +1,97 @@
+"""Vocabulary containers for tokens and entities.
+
+Two id spaces exist in TURL (Section 5.2): a WordPiece token vocabulary for
+table metadata and a separate entity vocabulary built from the training
+corpus, with entities appearing only once removed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+#: Special tokens shared by the token and entity vocabularies.  Order fixes
+#: their ids: PAD=0, UNK=1, MASK=2, CLS=3, SEP=4.
+SPECIAL_TOKENS = ("[PAD]", "[UNK]", "[MASK]", "[CLS]", "[SEP]")
+
+PAD_ID = 0
+UNK_ID = 1
+MASK_ID = 2
+CLS_ID = 3
+SEP_ID = 4
+
+
+class Vocabulary:
+    """A bidirectional string <-> id mapping with reserved special tokens."""
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for special in SPECIAL_TOKENS:
+            self.add(special)
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add ``token`` if new; return its id either way."""
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, or the UNK id if absent."""
+        return self._token_to_id.get(token, UNK_ID)
+
+    def token_of(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self):
+        return iter(self._id_to_token)
+
+    # -- persistence -----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(self._id_to_token)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Vocabulary":
+        tokens = json.loads(payload)
+        if tokens[: len(SPECIAL_TOKENS)] != list(SPECIAL_TOKENS):
+            raise ValueError("vocabulary payload missing special-token prefix")
+        vocab = cls.__new__(cls)
+        vocab._id_to_token = list(tokens)
+        vocab._token_to_id = {token: i for i, token in enumerate(tokens)}
+        return vocab
+
+    @classmethod
+    def build(cls, token_iter: Iterable[str], min_frequency: int = 1,
+              max_size: Optional[int] = None) -> "Vocabulary":
+        """Build a vocabulary from a token stream by frequency."""
+        counts = Counter(token_iter)
+        kept = [t for t, c in counts.most_common() if c >= min_frequency]
+        if max_size is not None:
+            kept = kept[: max(0, max_size - len(SPECIAL_TOKENS))]
+        return cls(kept)
+
+
+class EntityVocabulary(Vocabulary):
+    """Entity id space.
+
+    The paper removes entities that appear only once in the training corpus
+    (Section 5.2); :meth:`build_from_counts` mirrors that with
+    ``min_frequency=2`` as the default.
+    """
+
+    @classmethod
+    def build_from_counts(cls, counts: Counter, min_frequency: int = 2) -> "EntityVocabulary":
+        kept = [e for e, c in counts.most_common() if c >= min_frequency]
+        return cls(kept)

@@ -1,0 +1,113 @@
+"""Tests for the analysis toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attention_map,
+    entity_neighbors,
+    profile_corpus,
+    relation_offset_consistency,
+    render_attention,
+    render_profile,
+    type_clustering_score,
+)
+from repro.analysis.attention import element_labels
+
+
+@pytest.fixture(scope="module")
+def analyzable(request):
+    context = request.getfixturevalue("context")
+    table = context.splits.train[0]
+    return context, table
+
+
+def test_attention_map_shape_and_rows_sum_to_one(analyzable):
+    context, table = analyzable
+    weights, instance = attention_map(context.model, context.linearizer, table)
+    heads = context.config.num_heads
+    assert weights.shape == (heads, instance.length, instance.length)
+    np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-9)
+
+
+def test_attention_respects_visibility(analyzable):
+    """Invisible positions receive (numerically) zero attention."""
+    from repro.core.visibility import build_visibility
+
+    context, table = analyzable
+    weights, instance = attention_map(context.model, context.linearizer, table)
+    visibility = build_visibility(instance)
+    masked_weight = weights[:, ~visibility]
+    assert masked_weight.max() < 1e-6
+
+
+def test_attention_map_layer_bounds(analyzable):
+    context, table = analyzable
+    with pytest.raises(IndexError):
+        attention_map(context.model, context.linearizer, table, layer=99)
+
+
+def test_render_attention_text(analyzable):
+    context, table = analyzable
+    weights, instance = attention_map(context.model, context.linearizer, table)
+    labels = element_labels(instance, context.linearizer)
+    assert len(labels) == instance.length
+    text = render_attention(weights, labels, query=instance.length - 1, top_k=4)
+    assert "query" in text
+    assert "#" in text or "0.0" in text
+
+
+def test_entity_neighbors_sane(analyzable):
+    context, _ = analyzable
+    some_entity = context.entity_vocab.token_of(10)
+    neighbors = entity_neighbors(context.model, context.entity_vocab,
+                                 some_entity, k=5)
+    assert len(neighbors) == 5
+    scores = [s for _, s in neighbors]
+    assert scores == sorted(scores, reverse=True)
+    assert all(-1.0 - 1e-9 <= s <= 1.0 + 1e-9 for s in scores)
+    assert all(name != some_entity for name, _ in neighbors)
+
+
+def test_entity_neighbors_unknown_entity(analyzable):
+    context, _ = analyzable
+    assert entity_neighbors(context.model, context.entity_vocab, "ghost") == []
+
+
+def test_type_clustering_score_pretrained_positive(analyzable):
+    """MER pre-training should separate entity types at least weakly —
+    and clearly better than random embeddings."""
+    context, _ = analyzable
+    types = ["citytown", "country", "film", "sports_club"]
+    trained = type_clustering_score(context.model, context.entity_vocab,
+                                    context.kb, types)
+    fresh = type_clustering_score(context.fresh_model(seed=11),
+                                  context.entity_vocab, context.kb, types)
+    assert trained > fresh - 0.02
+
+
+def test_relation_offset_consistency_bounded(analyzable):
+    context, _ = analyzable
+    value = relation_offset_consistency(context.model, context.entity_vocab,
+                                        context.kb, "city.country")
+    assert -1.0 <= value <= 1.0
+
+
+def test_profile_corpus(analyzable):
+    context, _ = analyzable
+    profile = profile_corpus(context.splits.train)
+    assert profile.n_tables == len(context.splits.train)
+    assert 0.0 < profile.link_density <= 1.0
+    assert profile.n_distinct_entities > 10
+    assert profile.top_headers(3)
+    text = render_profile(profile)
+    assert "link density" in text
+    assert "genres" in text
+
+
+def test_profile_empty_corpus():
+    from repro.data.corpus import TableCorpus
+
+    profile = profile_corpus(TableCorpus([]))
+    assert profile.n_tables == 0
+    assert profile.link_density == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the error-analysis helpers."""
+
+import pytest
+
+from repro.analysis.errors import (
+    linking_error_breakdown,
+    per_genre_breakdown,
+    render_genre_breakdown,
+)
+from repro.tasks.entity_linking import LinkingInstance
+
+
+class _Table:
+    def __init__(self, section):
+        self.table_id = "t"
+        self.section_title = section
+
+
+def make_instances():
+    return [
+        LinkingInstance(_Table("A"), 0, 0, "m", "e1", ["e1", "e2"]),   # correct
+        LinkingInstance(_Table("A"), 1, 0, "m", "e2", ["e1", "e2"]),   # confused
+        LinkingInstance(_Table("B"), 0, 0, "m", "e3", []),             # no cands
+        LinkingInstance(_Table("B"), 1, 0, "m", "e4", ["e9"]),         # gen miss
+        LinkingInstance(_Table("B"), 2, 0, "m", "e5", ["e5", "e6"]),   # correct
+    ]
+
+
+def test_linking_breakdown_categories():
+    instances = make_instances()
+    predictions = ["e1", "e1", None, "e9", "e5"]
+    report = linking_error_breakdown(predictions, instances)
+    assert report.n_instances == 5
+    assert report.correct == 2
+    assert report.no_candidates == 1
+    assert report.truth_missing_from_candidates == 1
+    assert report.disambiguation_errors == 1
+    assert report.confusion_pairs == [("e2", "e1", 1)]
+    assert report.disambiguation_accuracy == pytest.approx(2 / 3)
+
+
+def test_linking_breakdown_alignment_check():
+    with pytest.raises(ValueError):
+        linking_error_breakdown(["e1"], make_instances())
+
+
+def test_linking_breakdown_render():
+    report = linking_error_breakdown(["e1", "e1", None, "e9", "e5"],
+                                     make_instances())
+    text = report.render()
+    assert "disambiguation accuracy" in text
+    assert "e2 -> e1" in text
+
+
+def test_per_genre_breakdown():
+    instances = make_instances()
+    scores = [1.0, 0.0, 1.0, 0.0, 1.0]
+    breakdown = per_genre_breakdown(instances, scores)
+    assert breakdown["A"] == (0.5, 2)
+    assert breakdown["B"] == (pytest.approx(2 / 3), 3)
+    text = render_genre_breakdown(breakdown)
+    assert "genre" in text and "A" in text
+
+
+def test_per_genre_custom_extractor():
+    breakdown = per_genre_breakdown([1, 2, 3], [0.0, 1.0, 1.0],
+                                    genre_of=lambda i: "odd" if i % 2 else "even")
+    assert breakdown["odd"] == (0.5, 2)
+    assert breakdown["even"] == (1.0, 1)
+
+
+def test_per_genre_alignment_check():
+    with pytest.raises(ValueError):
+        per_genre_breakdown([1], [1.0, 2.0])
+
+
+def test_real_pipeline_breakdown(context):
+    """End-to-end: lookup predictions categorized on the session corpus."""
+    from repro.baselines.lookup_linker import LookupLinker
+    from repro.kb.lookup import LookupService
+    from repro.tasks.entity_linking import build_linking_dataset
+
+    lookup = LookupService(context.kb)
+    instances = build_linking_dataset(context.splits.test, lookup,
+                                      max_instances=40)
+    predictions = LookupLinker().predict(instances)
+    report = linking_error_breakdown(predictions, instances)
+    assert report.n_instances == len(instances)
+    total = (report.correct + report.no_candidates
+             + report.truth_missing_from_candidates
+             + report.disambiguation_errors)
+    assert total == report.n_instances
+    assert 0.0 <= report.disambiguation_accuracy <= 1.0

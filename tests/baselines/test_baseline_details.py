@@ -1,0 +1,116 @@
+"""Focused unit tests for baseline internals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.t2k import T2KLinker
+from repro.baselines.hybrid import HybridLinker
+from repro.kb.knowledge_base import Entity, KnowledgeBase
+from repro.retrieval.word2vec import Word2Vec, Word2VecConfig
+from repro.tasks.entity_linking import LinkingInstance
+
+
+def tiny_kb():
+    kb = KnowledgeBase()
+    kb.add_entity(Entity("d1", "Ana Roth", ["director"]))
+    kb.add_entity(Entity("a1", "Ana Roth", ["actor"]))  # homonym
+    kb.add_entity(Entity("f1", "Silent River", ["film"]))
+    kb.add_entity(Entity("f2", "Crimson Garden", ["film"]))
+    kb.add_fact("f1", "film.director", "d1")
+    kb.add_fact("f2", "film.director", "d1")
+    return kb
+
+
+class _FakeTable:
+    def __init__(self, table_id):
+        self.table_id = table_id
+
+
+def column(instances_spec):
+    """Build LinkingInstances for one column from (mention, truth, cands)."""
+    table = _FakeTable("t")
+    out = []
+    for row, (mention, truth, candidates, scores) in enumerate(instances_spec):
+        out.append(LinkingInstance(table, row, 0, mention, truth,
+                                   candidates, scores))
+    return out
+
+
+def test_t2k_type_coherence_flips_ambiguous_cell():
+    """A column full of directors should pull the homonym to the director."""
+    kb = tiny_kb()
+    # Two unambiguous director cells + one ambiguous cell where the actor
+    # has the (slightly) higher string score.
+    instances = column([
+        ("Ana Roth", "d1", ["d1"], [1.0]),
+        ("Ana Roth", "d1", ["d1"], [1.0]),
+        ("Ana Roth", "d1", ["a1", "d1"], [1.0, 0.99]),
+    ])
+    linker = T2KLinker(kb, type_weight=0.5, min_confidence=0.0)
+    predictions = linker.predict(instances)
+    assert predictions[2] == "d1"
+
+
+def test_t2k_confidence_gate_refuses_weak_links():
+    kb = tiny_kb()
+    instances = column([("Ana", "d1", ["d1"], [0.2])])
+    linker = T2KLinker(kb, min_confidence=0.8)
+    assert linker.predict(instances) == [None]
+
+
+def test_t2k_empty_candidates_stay_none():
+    kb = tiny_kb()
+    instances = column([("???", "d1", [], [])])
+    assert T2KLinker(kb).predict(instances) == [None]
+
+
+def test_hybrid_coherence_flips_with_embeddings():
+    """Neighbors sharing co-occurrence with one candidate should flip the
+    ambiguous prediction toward it."""
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=5, seed=0)).train(
+        [["d1", "f1", "f2"]] * 60 + [["a1", "x1", "x2"]] * 60)
+    table = _FakeTable("t")
+    # Row neighbor f1 is firmly linked; ambiguous mention prefers a1 by string.
+    neighbor = LinkingInstance(table, 0, 1, "Silent River", "f1", ["f1"], [1.0])
+    ambiguous = LinkingInstance(table, 0, 0, "Ana Roth", "d1",
+                                ["a1", "d1"], [1.0, 0.995])
+    linker = HybridLinker(model, coherence_weight=2.0)
+    predictions = linker.predict([neighbor, ambiguous])
+    assert predictions[1] == "d1"
+
+
+def test_hybrid_no_neighbors_keeps_string_order():
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=0)).train(
+        [["a", "b"]] * 10)
+    table = _FakeTable("t")
+    instance = LinkingInstance(table, 0, 0, "m", "x", ["x", "y"], [0.9, 0.5])
+    assert HybridLinker(model).predict([instance]) == ["x"]
+
+
+def test_adam_weight_decay_shrinks_weights():
+    from repro.nn import Adam, Parameter
+
+    p = Parameter(np.array([10.0]))
+    optimizer = Adam([p], learning_rate=0.1, weight_decay=0.5)
+    for _ in range(50):
+        p.grad = np.array([0.0])  # only decay acts
+        optimizer.step()
+    assert abs(p.data[0]) < 10.0
+
+
+def test_adam_with_schedule_changes_step_size():
+    from repro.nn import Adam, LinearDecaySchedule, Parameter
+
+    schedule = LinearDecaySchedule(1.0, total_steps=2, final_fraction=0.0)
+    p = Parameter(np.array([0.0]))
+    optimizer = Adam([p], schedule=schedule)
+    p.grad = np.array([1.0])
+    optimizer.step()
+    first_move = abs(p.data[0])
+    # After total_steps the lr is ~0 -> no further movement.
+    for _ in range(3):
+        p.grad = np.array([1.0])
+        optimizer.step()
+    later = abs(p.data[0])
+    assert first_move > 0
+    assert later < first_move * 10  # bounded; lr decayed to zero

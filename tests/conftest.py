@@ -1,0 +1,51 @@
+"""Shared fixtures: a small synthetic world, corpus, and pipeline context.
+
+Everything heavy is session-scoped so the suite builds the world once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TURLConfig
+from repro.core.context import TURLContext, build_context
+from repro.data.preprocessing import filter_relational, partition_corpus
+from repro.data.synthesis import SynthesisConfig, build_corpus
+from repro.kb.generator import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return generate_world(WorldConfig(seed=1))
+
+
+@pytest.fixture(scope="session")
+def corpus(kb):
+    return filter_relational(build_corpus(kb, SynthesisConfig(seed=2, n_tables=400)))
+
+
+@pytest.fixture(scope="session")
+def splits(corpus):
+    return partition_corpus(corpus, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return TURLConfig(num_layers=2, dim=32, intermediate_dim=64, num_heads=2)
+
+
+@pytest.fixture(scope="session")
+def context(small_config) -> TURLContext:
+    """A compact pipeline with a short pre-training run."""
+    return build_context(
+        world_config=WorldConfig(seed=1),
+        synthesis_config=SynthesisConfig(seed=2, n_tables=300),
+        model_config=small_config,
+        pretrain_epochs=2,
+        vocab_size=2000,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)

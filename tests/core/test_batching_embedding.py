@@ -1,0 +1,119 @@
+"""Tests for batch collation and the embedding layer."""
+
+import numpy as np
+import pytest
+
+from repro.config import TURLConfig
+from repro.core.batching import batches_of, collate
+from repro.core.embedding import TableEmbedding
+from repro.text.vocab import MASK_ID, PAD_ID
+
+
+@pytest.fixture(scope="module")
+def instances(request):
+    context = request.getfixturevalue("context")
+    return context, context.instances_for(context.splits.train)[:16]
+
+
+def test_collate_shapes_consistent(instances):
+    _, insts = instances
+    batch = collate(insts[:5])
+    b, lt = batch["token_ids"].shape
+    le = batch["entity_ids"].shape[1]
+    assert b == 5
+    assert batch["visibility"].shape == (5, lt + le, lt + le)
+    assert batch["mention_ids"].shape[:2] == (5, le)
+
+
+def test_collate_padding_masks(instances):
+    _, insts = instances
+    batch = collate(insts[:5])
+    for i, instance in enumerate(insts[:5]):
+        assert batch["token_mask"][i].sum() == instance.n_tokens
+        assert batch["entity_mask"][i].sum() == instance.n_entities
+        # Pad token ids are PAD everywhere past the real length.
+        assert (batch["token_ids"][i, instance.n_tokens:] == PAD_ID).all()
+
+
+def test_collate_pad_positions_invisible_to_real(instances):
+    _, insts = instances
+    batch = collate(insts[:5])
+    lt = batch["token_ids"].shape[1]
+    for i, instance in enumerate(insts[:5]):
+        nt, ne = instance.n_tokens, instance.n_entities
+        real = np.concatenate([np.arange(nt), lt + np.arange(ne)])
+        pad = np.setdiff1d(np.arange(batch["visibility"].shape[1]), real)
+        if len(pad):
+            # No real element can see a pad element.
+            assert not batch["visibility"][i][np.ix_(real, pad)].any()
+            # Pads see themselves (softmax stays well defined).
+            assert batch["visibility"][i][pad, pad].all()
+
+
+def test_collate_empty_raises():
+    with pytest.raises(ValueError):
+        collate([])
+
+
+def test_batches_of_covers_everything(instances, rng):
+    _, insts = instances
+    seen = 0
+    for batch in batches_of(insts, batch_size=6, rng=rng):
+        seen += batch["token_ids"].shape[0]
+    assert seen == len(insts)
+
+
+def test_single_instance_visibility_matches_unbatched(instances):
+    from repro.core.visibility import build_visibility
+    _, insts = instances
+    instance = insts[0]
+    batch = collate([instance])
+    local = build_visibility(instance)
+    nt, ne = instance.n_tokens, instance.n_entities
+    np.testing.assert_array_equal(batch["visibility"][0, :nt + ne, :nt + ne], local)
+
+
+def test_embedding_output_shape(instances):
+    context, insts = instances
+    batch = collate(insts[:3])
+    out = context.model.embedding(batch)
+    lt = batch["token_ids"].shape[1]
+    le = batch["entity_ids"].shape[1]
+    assert out.shape == (3, lt + le, context.config.dim)
+
+
+def test_mention_embedding_mask_replaces_mention(instances):
+    context, insts = instances
+    embedding = context.model.embedding
+    instance = insts[0]
+    batch = collate([instance])
+    no_mask = np.zeros(batch["entity_ids"].shape, dtype=bool)
+    full_mask = np.ones(batch["entity_ids"].shape, dtype=bool)
+    plain = embedding.mention_embeddings(batch["mention_ids"], no_mask)
+    masked = embedding.mention_embeddings(batch["mention_ids"], full_mask)
+    # Masked mentions collapse to the single [MASK] word embedding.
+    mask_vector = embedding.word.weight.data[MASK_ID]
+    np.testing.assert_allclose(masked.data[0, 0], mask_vector, atol=1e-12)
+    assert not np.allclose(plain.data[0, 0], masked.data[0, 0])
+
+
+def test_entity_type_embedding_differentiates(instances):
+    """Subject and object cells with the same entity get different inputs."""
+    context, insts = instances
+    embedding = context.model.embedding
+    batch = collate(insts[:1])
+    base = embedding.entity_embeddings(batch).data
+    flipped = {k: v.copy() for k, v in batch.items()}
+    flipped["entity_type"] = 2 - batch["entity_type"]  # swap topic<->object
+    changed = embedding.entity_embeddings(flipped).data
+    assert not np.allclose(base, changed)
+
+
+def test_token_embedding_position_matters(instances):
+    context, insts = instances
+    embedding = context.model.embedding
+    batch = collate(insts[:1])
+    base = embedding.token_embeddings(batch).data
+    shifted = {k: v.copy() for k, v in batch.items()}
+    shifted["token_pos"] = batch["token_pos"] + 1
+    assert not np.allclose(base, embedding.token_embeddings(shifted).data)

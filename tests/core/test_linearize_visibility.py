@@ -1,0 +1,205 @@
+"""Tests for table linearization and the visibility matrix."""
+
+import numpy as np
+import pytest
+
+from repro.config import TURLConfig
+from repro.core.linearize import (
+    ETYPE_OBJECT,
+    ETYPE_SUBJECT,
+    ETYPE_TOPIC,
+    KIND_CAPTION,
+    KIND_CELL,
+    KIND_HEADER,
+    KIND_TOPIC,
+    Linearizer,
+)
+from repro.core.visibility import build_visibility, visibility_from_structure
+from repro.data.table import Column, EntityCell, Table
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import MASK_ID, PAD_ID, Vocabulary
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return WordPieceTokenizer.train(
+        ["national film awards recipients year film director language club city"] * 3,
+        vocab_size=300, min_frequency=1)
+
+
+@pytest.fixture(scope="module")
+def entity_vocab():
+    return Vocabulary([f"ent_{i}" for i in range(20)])
+
+
+@pytest.fixture(scope="module")
+def sample_table():
+    return Table(
+        table_id="t1",
+        page_title="National Film Awards",
+        section_title="Recipients",
+        caption="recipients of the award",
+        topic_entity="ent_0",
+        subject_column=0,
+        columns=[
+            Column("Year", "entity", [
+                EntityCell("ent_1", "15th"), EntityCell("ent_2", "16th"),
+                EntityCell("ent_3", "17th"),
+            ]),
+            Column("Director", "entity", [
+                EntityCell("ent_4", "Satyajit"), EntityCell("ent_5", "Mrinal"),
+                EntityCell(None, "Unknown"),
+            ], relation="ceremony.winner"),
+            Column("Film", "entity", [
+                EntityCell("ent_7", "Chiriyakhana"), EntityCell("ent_8", "Bhuvan"),
+                EntityCell("ent_9", "Goopy"),
+            ], relation="ceremony.best_film"),
+            Column("Notes", "text", ["a", "b", "c"]),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def linearizer(tokenizer, entity_vocab):
+    return Linearizer(tokenizer, entity_vocab, TURLConfig(max_caption_tokens=12))
+
+
+def test_linearize_counts(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    # topic + 9 cells (3 rows x 3 entity columns)
+    assert instance.n_entities == 10
+    assert instance.entity_kind[0] == KIND_TOPIC
+    assert (instance.entity_kind[1:] == KIND_CELL).all()
+    assert instance.n_tokens > 0
+    assert instance.length == instance.n_tokens + instance.n_entities
+
+
+def test_linearize_entity_types(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    assert instance.entity_type[0] == ETYPE_TOPIC
+    # Row-major scan: first cell of each row is the subject column.
+    cells = instance.entity_type[1:].reshape(3, 3)
+    assert (cells[:, 0] == ETYPE_SUBJECT).all()
+    assert (cells[:, 1:] == ETYPE_OBJECT).all()
+
+
+def test_linearize_rows_and_cols(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    rows = instance.entity_row[1:].reshape(3, 3)
+    cols = instance.entity_col[1:].reshape(3, 3)
+    assert (rows == np.array([[0, 0, 0], [1, 1, 1], [2, 2, 2]])).all()
+    assert (cols == np.array([[0, 1, 2]] * 3)).all()
+
+
+def test_linearize_unlinked_cell_gets_pad_entity(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    # Row 2 director cell is unlinked.
+    flat_index = 1 + 2 * 3 + 1
+    assert instance.entity_ids[flat_index] == PAD_ID
+    assert instance.entity_kb_ids[flat_index] is None
+
+
+def test_linearize_mentions_padded(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    assert instance.mention_ids.shape == (10, TURLConfig().max_mention_tokens)
+    # Mention of the first cell is non-empty.
+    assert (instance.mention_ids[1] != PAD_ID).any()
+
+
+def test_linearize_text_column_contributes_header_only(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    # "Notes" header tokens present with col index 3; no entities in col 3.
+    header_cols = set(instance.token_col[instance.token_kind == KIND_HEADER])
+    assert 3 in header_cols
+    assert 3 not in set(instance.entity_col)
+
+
+def test_linearize_truncates_caption(tokenizer, entity_vocab, sample_table):
+    tight = Linearizer(tokenizer, entity_vocab, TURLConfig(max_caption_tokens=4))
+    instance = tight.encode(sample_table)
+    assert (instance.token_kind == KIND_CAPTION).sum() == 4
+
+
+def test_linearize_truncates_rows(tokenizer, entity_vocab, sample_table):
+    tight = Linearizer(tokenizer, entity_vocab, TURLConfig(max_rows=2))
+    instance = tight.encode(sample_table)
+    assert instance.entity_row.max() == 1
+
+
+def test_extra_entity_slots(linearizer, sample_table):
+    instance = linearizer.encode(sample_table, extra_entity_slots=2)
+    assert instance.n_entities == 12
+    assert (instance.entity_ids[-2:] == MASK_ID).all()
+    assert (instance.entity_row[-2:] == 3).all()  # fresh row below the table
+    assert instance.entity_kb_ids[-1] is None
+
+
+def test_visibility_symmetric(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    visibility = build_visibility(instance)
+    assert (visibility == visibility.T).all()
+    assert visibility.diagonal().all()
+
+
+def test_visibility_caption_and_topic_global(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    visibility = build_visibility(instance)
+    kinds = instance.element_kinds()
+    caption_rows = np.where(kinds == KIND_CAPTION)[0]
+    topic_rows = np.where(kinds == KIND_TOPIC)[0]
+    assert visibility[caption_rows].all()
+    assert visibility[topic_rows].all()
+
+
+def test_visibility_cell_to_cell_rules(linearizer, sample_table):
+    """Paper Example 4.1: [Satyajit] must not see [Pratidwandi]-style cells —
+    entities in a different row AND different column are invisible."""
+    instance = linearizer.encode(sample_table)
+    visibility = build_visibility(instance)
+    nt = instance.n_tokens
+    # Entity flat layout: topic at 0, then 3x3 row-major cells.
+    def pos(row, col):
+        return nt + 1 + row * 3 + col
+
+    # Same row: visible.
+    assert visibility[pos(0, 1), pos(0, 2)]
+    # Same column: visible.
+    assert visibility[pos(0, 1), pos(2, 1)]
+    # Different row and column: invisible.
+    assert not visibility[pos(0, 1), pos(1, 2)]
+    assert not visibility[pos(2, 0), pos(0, 2)]
+
+
+def test_visibility_header_sees_own_column_cells_only(linearizer, sample_table):
+    instance = linearizer.encode(sample_table)
+    visibility = build_visibility(instance)
+    kinds = instance.element_kinds()
+    cols = instance.element_cols()
+    nt = instance.n_tokens
+
+    header_positions = np.where(kinds == KIND_HEADER)[0]
+    col0_header = header_positions[cols[header_positions] == 0][0]
+    # Header of column 0 sees a column-0 cell but not a column-2 cell.
+    cell_col0 = nt + 1  # row 0, col 0
+    cell_col2 = nt + 3  # row 0, col 2
+    assert visibility[col0_header, cell_col0]
+    assert not visibility[col0_header, cell_col2]
+    # Headers all see each other.
+    assert visibility[np.ix_(header_positions, header_positions)].all()
+
+
+def test_visibility_from_structure_all_caption():
+    kinds = np.full(4, KIND_CAPTION)
+    visibility = visibility_from_structure(kinds, np.full(4, -1), np.full(4, -1))
+    assert visibility.all()
+
+
+def test_visibility_no_row_col_leakage_for_topic():
+    """Topic entity has row=col=-1; caption tokens also use -1.  They are
+    globally visible anyway, but -1 must never make two *cells* in different
+    places 'same row' spuriously."""
+    kinds = np.array([KIND_CELL, KIND_CELL])
+    rows = np.array([0, 1])
+    cols = np.array([0, 1])
+    visibility = visibility_from_structure(kinds, rows, cols)
+    assert not visibility[0, 1]

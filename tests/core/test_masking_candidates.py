@@ -1,0 +1,161 @@
+"""Tests for MLM/MER masking policies and candidate construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TURLConfig
+from repro.core.batching import collate
+from repro.core.candidates import CandidateBuilder
+from repro.core.linearize import ETYPE_TOPIC, Linearizer
+from repro.core.masking import IGNORE, MaskingPolicy
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import MASK_ID, PAD_ID, UNK_ID, EntityVocabulary
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    """Linearized instances from the session corpus."""
+    splits = request.getfixturevalue("splits")
+    tokenizer = WordPieceTokenizer.train(splits.train.metadata_texts(), vocab_size=2000)
+    entity_vocab = EntityVocabulary.build_from_counts(splits.train.entity_counts())
+    config = TURLConfig()
+    linearizer = Linearizer(tokenizer, entity_vocab, config)
+    instances = [linearizer.encode(t) for t in splits.train.tables[:40]]
+    return tokenizer, entity_vocab, config, instances, splits
+
+
+def test_masking_preserves_input_batch(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    batch = collate(instances[:8])
+    original_tokens = batch["token_ids"].copy()
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    policy.apply(batch, rng)
+    np.testing.assert_array_equal(batch["token_ids"], original_tokens)
+
+
+def test_mlm_respects_ratio(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    batch = collate(instances[:32])
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    eligible = batch["token_mask"] & (batch["token_ids"] != PAD_ID) & (batch["token_ids"] != UNK_ID)
+    ratio = masked.n_mlm / eligible.sum()
+    assert 0.1 < ratio < 0.32  # around the 20% target
+
+
+def test_mlm_labels_match_original_ids(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    batch = collate(instances[:8])
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    selected = masked.mlm_labels != IGNORE
+    np.testing.assert_array_equal(masked.mlm_labels[selected],
+                                  batch["token_ids"][selected])
+
+
+def test_mlm_masked_tokens_are_replaced(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    batch = collate(instances[:32])
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    selected = masked.mlm_labels != IGNORE
+    changed = masked.batch["token_ids"][selected] != batch["token_ids"][selected]
+    masked_to_mask = (masked.batch["token_ids"][selected] == MASK_ID).mean()
+    # ~80% should be [MASK]; at least some random/unchanged.
+    assert 0.6 < masked_to_mask <= 0.95
+    assert changed.mean() > 0.7
+
+
+def test_mer_respects_ratio_and_eligibility(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    batch = collate(instances[:32])
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    selected = masked.mer_labels != IGNORE
+    # Topic entities are never selected.
+    assert not (selected & (batch["entity_type"] == ETYPE_TOPIC)).any()
+    # Unlinked (PAD) and UNK cells are never selected.
+    assert not (selected & (batch["entity_ids"] == PAD_ID)).any()
+    assert not (selected & (batch["entity_ids"] == UNK_ID)).any()
+    eligible = (batch["entity_mask"] & (batch["entity_ids"] >= 5)
+                & (batch["entity_type"] != ETYPE_TOPIC))
+    ratio = selected.sum() / eligible.sum()
+    assert 0.45 < ratio < 0.75  # around the 60% target
+
+
+def test_mer_mention_masking_fraction(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    batch = collate(instances[:40])
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    selected = masked.mer_labels != IGNORE
+    mention_masked = masked.batch["mention_masked"][selected].mean()
+    # 63% of selected cells are fully masked.
+    assert 0.45 < mention_masked < 0.8
+    # Mention masking never happens outside selected cells.
+    assert not masked.batch["mention_masked"][~selected].any()
+
+
+def test_mer_mask_ratio_zero_masks_nothing(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, _ = pipeline
+    config0 = TURLConfig(mer_probability=0.0)
+    batch = collate(instances[:8])
+    policy = MaskingPolicy(config0, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    assert masked.n_mer == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(ratio=st.floats(min_value=0.1, max_value=0.9))
+def test_property_mer_ratio_tracks_config(pipeline, ratio):
+    tokenizer, entity_vocab, _, instances, _ = pipeline
+    config = TURLConfig(mer_probability=ratio)
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    rng = np.random.default_rng(7)
+    batch = collate(instances[:40])
+    masked = policy.apply(batch, rng)
+    eligible = (batch["entity_mask"] & (batch["entity_ids"] >= 5)
+                & (batch["entity_type"] != ETYPE_TOPIC)).sum()
+    observed = masked.n_mer / eligible
+    assert abs(observed - ratio) < 0.15
+
+
+def test_candidates_include_truth_and_table_entities(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, splits = pipeline
+    builder = CandidateBuilder(splits.train, entity_vocab, config)
+    batch = collate(instances[:8])
+    policy = MaskingPolicy(config, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    candidate_ids, remapped = builder.build(batch["entity_ids"], masked.mer_labels, rng)
+
+    assert len(candidate_ids) <= config.max_candidates
+    assert len(set(candidate_ids.tolist())) == len(candidate_ids)
+    selected = masked.mer_labels != IGNORE
+    # Every true entity is present and the remapped index points at it.
+    for true_id, index in zip(masked.mer_labels[selected], remapped[selected]):
+        assert candidate_ids[index] == true_id
+
+
+def test_candidates_contain_cooccurring_entities(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, splits = pipeline
+    builder = CandidateBuilder(splits.train, entity_vocab, config)
+    # Co-occurrence index is populated and symmetric-ish.
+    assert builder.cooccurrence
+    some_entity = next(iter(builder.cooccurrence))
+    assert builder.cooccurrence[some_entity]
+
+
+def test_candidates_cap_respected_and_no_specials(pipeline, rng):
+    tokenizer, entity_vocab, config, instances, splits = pipeline
+    small = TURLConfig(max_candidates=16, n_random_negatives=100,
+                       n_cooccurrence_candidates=100)
+    builder = CandidateBuilder(splits.train, entity_vocab, small)
+    batch = collate(instances[:8])
+    policy = MaskingPolicy(small, len(tokenizer.vocab), len(entity_vocab))
+    masked = policy.apply(batch, rng)
+    n_true = len(set(masked.mer_labels[masked.mer_labels != IGNORE].tolist()))
+    candidate_ids, _ = builder.build(batch["entity_ids"], masked.mer_labels, rng)
+    assert len(candidate_ids) <= max(16, n_true)
+    assert (candidate_ids >= 5).all()  # no special ids among candidates

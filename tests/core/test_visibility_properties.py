@@ -1,0 +1,73 @@
+"""Property-based tests for the visibility matrix."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linearize import KIND_CAPTION, KIND_CELL, KIND_HEADER, KIND_TOPIC
+from repro.core.visibility import visibility_from_structure
+
+
+@st.composite
+def structures(draw):
+    n = draw(st.integers(2, 30))
+    kinds = draw(st.lists(st.sampled_from(
+        [KIND_CAPTION, KIND_HEADER, KIND_TOPIC, KIND_CELL]),
+        min_size=n, max_size=n))
+    rows, cols = [], []
+    for kind in kinds:
+        if kind == KIND_CELL:
+            rows.append(draw(st.integers(0, 5)))
+            cols.append(draw(st.integers(0, 4)))
+        elif kind == KIND_HEADER:
+            rows.append(-1)
+            cols.append(draw(st.integers(0, 4)))
+        else:
+            rows.append(-1)
+            cols.append(-1)
+    return np.array(kinds), np.array(rows), np.array(cols)
+
+
+@settings(max_examples=80, deadline=None)
+@given(structures())
+def test_property_visibility_symmetric_with_diagonal(structure):
+    kinds, rows, cols = structure
+    visibility = visibility_from_structure(kinds, rows, cols)
+    assert (visibility == visibility.T).all()
+    assert visibility.diagonal().all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(structures())
+def test_property_globals_see_everything(structure):
+    kinds, rows, cols = structure
+    visibility = visibility_from_structure(kinds, rows, cols)
+    global_mask = (kinds == KIND_CAPTION) | (kinds == KIND_TOPIC)
+    assert visibility[global_mask].all()
+    assert visibility[:, global_mask].all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(structures())
+def test_property_cell_pairs_follow_row_col_rule(structure):
+    kinds, rows, cols = structure
+    visibility = visibility_from_structure(kinds, rows, cols)
+    cell_positions = np.where(kinds == KIND_CELL)[0]
+    for i in cell_positions:
+        for j in cell_positions:
+            if i == j:
+                continue
+            expected = rows[i] == rows[j] or cols[i] == cols[j]
+            assert visibility[i, j] == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(structures())
+def test_property_header_cell_rule(structure):
+    kinds, rows, cols = structure
+    visibility = visibility_from_structure(kinds, rows, cols)
+    headers = np.where(kinds == KIND_HEADER)[0]
+    cells = np.where(kinds == KIND_CELL)[0]
+    for h in headers:
+        for c in cells:
+            assert visibility[h, c] == (cols[h] == cols[c])

@@ -1,0 +1,73 @@
+"""Property-based tests for the table data model and corpus round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.table import Column, EntityCell, Table
+
+_mention = st.text(alphabet="abcdefgh XYZ0123", min_size=1, max_size=12)
+_maybe_entity = st.one_of(st.none(), st.from_regex(r"ent_[0-9]{1,3}", fullmatch=True))
+
+
+@st.composite
+def tables(draw):
+    n_rows = draw(st.integers(1, 6))
+    n_entity_cols = draw(st.integers(1, 3))
+    n_text_cols = draw(st.integers(0, 2))
+    columns = []
+    for c in range(n_entity_cols):
+        cells = [EntityCell(draw(_maybe_entity), draw(_mention))
+                 for _ in range(n_rows)]
+        columns.append(Column(f"Header {c}", "entity", cells))
+    for c in range(n_text_cols):
+        columns.append(Column(f"Text {c}", "text",
+                              [draw(_mention) for _ in range(n_rows)]))
+    return Table(
+        table_id=draw(st.from_regex(r"tbl_[0-9]{1,5}", fullmatch=True)),
+        page_title=draw(_mention),
+        section_title=draw(_mention),
+        caption=draw(_mention),
+        topic_entity=draw(_maybe_entity),
+        subject_column=0,
+        columns=columns,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_property_table_json_roundtrip(table):
+    restored = Table.from_json(table.to_json())
+    assert restored.to_dict() == table.to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_property_entity_cell_counts_consistent(table):
+    cells = list(table.all_entity_cells())
+    assert len(cells) == table.n_rows * len(table.entity_columns())
+    linked = table.linked_entities()
+    assert len(linked) == sum(1 for _, _, c in cells if c.is_linked)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_property_caption_text_contains_parts(table):
+    text = table.caption_text()
+    for part in (table.page_title, table.section_title, table.caption):
+        if part:
+            assert part in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(tables(), min_size=0, max_size=5, unique_by=lambda t: t.table_id))
+def test_property_corpus_jsonl_roundtrip(tmp_path_factory, table_list):
+    from repro.data.corpus import TableCorpus
+
+    corpus = TableCorpus(table_list)
+    path = str(tmp_path_factory.mktemp("corpus") / "tables.jsonl")
+    corpus.save_jsonl(path)
+    restored = TableCorpus.load_jsonl(path)
+    assert len(restored) == len(corpus)
+    for a, b in zip(corpus, restored):
+        assert a.to_dict() == b.to_dict()

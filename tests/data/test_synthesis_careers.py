@@ -1,0 +1,77 @@
+"""Tests for the career-coherent synthesis semantics (cell filling ground
+truth must be *determined* by table context, not random)."""
+
+import pytest
+
+from repro.data.synthesis import SynthesisConfig, TableSynthesizer
+
+
+@pytest.fixture(scope="module")
+def career_corpus(kb):
+    return TableSynthesizer(kb, SynthesisConfig(seed=5, n_tables=250)).generate(), kb
+
+
+def _career(kb, athlete_id):
+    return kb.objects_of(athlete_id, "athlete.club")
+
+
+def test_transfers_use_previous_club(career_corpus):
+    corpus, kb = career_corpus
+    checked = 0
+    for table in corpus:
+        if table.section_title != "Transfers":
+            continue
+        season_id = table.topic_entity
+        club_id = kb.objects_of(season_id, "season.club")[0]
+        subjects = table.columns[table.subject_column].cells
+        for column in table.columns:
+            if column.relation != "athlete.club":
+                continue
+            for subject_cell, object_cell in zip(subjects, column.cells):
+                if not (subject_cell.is_linked and object_cell.is_linked):
+                    continue
+                career = _career(kb, subject_cell.entity_id)
+                index = career.index(club_id)
+                assert index > 0, "transfer rows must have a previous club"
+                assert object_cell.entity_id == career[index - 1]
+                checked += 1
+    assert checked > 10
+
+
+def test_country_lists_use_current_club(career_corpus):
+    corpus, kb = career_corpus
+    checked = 0
+    for table in corpus:
+        if table.section_title != "Players":
+            continue
+        subjects = table.columns[table.subject_column].cells
+        for column in table.columns:
+            if column.relation != "athlete.club":
+                continue
+            for subject_cell, object_cell in zip(subjects, column.cells):
+                if subject_cell.is_linked and object_cell.is_linked:
+                    career = _career(kb, subject_cell.entity_id)
+                    assert object_cell.entity_id == career[-1]
+                    checked += 1
+    assert checked > 5
+
+
+def test_transfer_headers_are_moving_from_style(career_corpus):
+    corpus, _ = career_corpus
+    headers = set()
+    for table in corpus:
+        if table.section_title == "Transfers":
+            for column in table.columns:
+                if column.relation == "athlete.club":
+                    headers.add(column.header.lower())
+    assert headers <= {"moving from", "previous club"}
+    assert headers
+
+
+def test_unique_anchors_no_duplicate_season_transfers(career_corpus):
+    corpus, _ = career_corpus
+    seen = set()
+    for table in corpus:
+        if table.section_title == "Transfers":
+            assert table.topic_entity not in seen
+            seen.add(table.topic_entity)

@@ -1,0 +1,210 @@
+"""Tests for the table data model, synthesis, preprocessing and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Column,
+    EntityCell,
+    SynthesisConfig,
+    Table,
+    TableCorpus,
+    build_corpus,
+    corpus_statistics,
+    filter_relational,
+    is_relational,
+    partition_corpus,
+)
+from repro.data.preprocessing import detect_subject_column, is_high_quality
+from repro.data.statistics import format_statistics, splits_statistics
+from repro.data.synthesis import TableSynthesizer
+
+
+def simple_table(table_id="t1", linked=True):
+    eid = "e" if linked else None
+    return Table(
+        table_id=table_id,
+        page_title="Page",
+        section_title="Section",
+        caption="a caption",
+        topic_entity="topic",
+        subject_column=0,
+        columns=[
+            Column("Name", "entity", [EntityCell(f"{eid}{i}" if linked else None, f"m{i}")
+                                      for i in range(4)]),
+            Column("City", "entity", [EntityCell(f"c{i}", f"city{i}") for i in range(4)]),
+            Column("Year", "text", ["2001", "2002", "2003", "2004"]),
+        ],
+    )
+
+
+def test_table_shape_accessors():
+    table = simple_table()
+    assert table.n_rows == 4
+    assert table.n_columns == 3
+    assert table.headers == ["Name", "City", "Year"]
+    assert table.entity_columns() == [0, 1]
+    assert table.caption_text() == "Page Section a caption"
+
+
+def test_table_rejects_ragged():
+    with pytest.raises(ValueError):
+        Table("x", "", "", "", None, [
+            Column("A", "entity", [EntityCell("e", "m")]),
+            Column("B", "entity", []),
+        ])
+
+
+def test_column_rejects_bad_kind():
+    with pytest.raises(ValueError):
+        Column("A", "blob", [])
+
+
+def test_table_entity_access():
+    table = simple_table()
+    cells = list(table.all_entity_cells())
+    assert len(cells) == 8  # 4 rows x 2 entity columns
+    assert cells[0][:2] == (0, 0)
+    assert table.subject_entities() == ["e0", "e1", "e2", "e3"]
+    assert len(table.linked_entities()) == 8
+
+
+def test_table_json_roundtrip():
+    table = simple_table()
+    restored = Table.from_json(table.to_json())
+    assert restored.to_dict() == table.to_dict()
+    assert restored.columns[0].cells[0].entity_id == "e0"
+    assert restored.columns[2].cells[0] == "2001"
+
+
+def test_corpus_add_and_lookup():
+    corpus = TableCorpus([simple_table("a")])
+    corpus.add(simple_table("b"))
+    assert len(corpus) == 2
+    assert corpus.get("b").table_id == "b"
+    with pytest.raises(ValueError):
+        corpus.add(simple_table("a"))
+
+
+def test_corpus_jsonl_roundtrip(tmp_path):
+    corpus = TableCorpus([simple_table("a"), simple_table("b")])
+    path = str(tmp_path / "tables.jsonl")
+    corpus.save_jsonl(path)
+    loaded = TableCorpus.load_jsonl(path)
+    assert len(loaded) == 2
+    assert loaded.get("a").to_dict() == corpus.get("a").to_dict()
+
+
+def test_corpus_entity_counts_includes_topic():
+    corpus = TableCorpus([simple_table("a")])
+    counts = corpus.entity_counts()
+    assert counts["topic"] == 1
+    assert counts["e0"] == 1
+
+
+def test_detect_subject_column():
+    table = simple_table()
+    assert detect_subject_column(table) == 0
+    # Duplicate entities in column 0 disqualify it; column 1 is unique.
+    table.columns[0].cells[1] = EntityCell("e0", "dup")
+    assert detect_subject_column(table) == 1
+
+
+def test_detect_subject_column_illegal_header():
+    table = simple_table()
+    table.columns[0].header = "Notes"
+    assert detect_subject_column(table) == 1
+
+
+def test_is_relational_limits():
+    table = simple_table()
+    assert is_relational(table)
+    wide = Table("w", "", "", "", None, [
+        Column(f"h{i}", "text", ["x"]) for i in range(21)
+    ])
+    assert not is_relational(wide)
+
+
+def test_filter_relational_resets_subject(corpus):
+    assert all(t.subject_column == detect_subject_column(t) for t in corpus)
+
+
+def test_is_high_quality():
+    table = simple_table()
+    # Only 2 entity columns -> not high quality.
+    assert not is_high_quality(table)
+    table.columns.append(Column("Club", "entity",
+                                [EntityCell(f"k{i}", f"club{i}") for i in range(4)]))
+    # Needs >4 linked subject entities; we have 4.
+    assert not is_high_quality(table)
+
+
+def test_synthesizer_determinism(kb):
+    config = SynthesisConfig(seed=9, n_tables=50)
+    corpus1 = TableSynthesizer(kb, config).generate()
+    corpus2 = TableSynthesizer(kb, config).generate()
+    assert len(corpus1) == len(corpus2)
+    for a, b in zip(corpus1, corpus2):
+        assert a.to_dict() == b.to_dict()
+
+
+def test_synthesizer_row_bounds(kb):
+    config = SynthesisConfig(seed=9, n_tables=80, max_rows=10, min_rows=3)
+    for table in TableSynthesizer(kb, config).generate():
+        assert 3 <= table.n_rows <= 10
+
+
+def test_synthesizer_object_columns_follow_kb(kb, corpus):
+    """Every linked object cell must be consistent with a KB fact."""
+    checked = 0
+    for table in corpus.tables[:50]:
+        subjects = table.columns[table.subject_column].cells
+        for column in table.columns:
+            if not column.is_entity or column.relation is None:
+                continue
+            for subject_cell, object_cell in zip(subjects, column.cells):
+                if subject_cell.is_linked and object_cell.is_linked:
+                    assert kb.has_fact(subject_cell.entity_id, column.relation,
+                                       object_cell.entity_id)
+                    checked += 1
+    assert checked > 100
+
+
+def test_synthesizer_unlinked_rate(kb):
+    config = SynthesisConfig(seed=9, n_tables=100, unlinked_probability=0.3)
+    corpus = TableSynthesizer(kb, config).generate()
+    cells = [cell for table in corpus for _, _, cell in table.all_entity_cells()]
+    unlinked = sum(1 for cell in cells if not cell.is_linked) / len(cells)
+    assert 0.2 < unlinked < 0.4
+
+
+def test_partition_no_overlap(splits):
+    train_ids = {t.table_id for t in splits.train}
+    dev_ids = {t.table_id for t in splits.validation}
+    test_ids = {t.table_id for t in splits.test}
+    assert not (train_ids & dev_ids)
+    assert not (train_ids & test_ids)
+    assert not (dev_ids & test_ids)
+
+
+def test_partition_heldout_high_quality(splits):
+    for table in list(splits.validation) + list(splits.test):
+        assert is_high_quality(table)
+
+
+def test_statistics_shape(corpus):
+    stats = corpus_statistics(corpus)
+    assert set(stats) == {"n_row", "n_ent_columns", "n_ent"}
+    assert stats["n_row"]["min"] >= 3
+    assert stats["n_row"]["max"] <= 24
+
+
+def test_statistics_format(splits):
+    text = format_statistics(splits_statistics(splits))
+    assert "# row" in text
+    assert "train" in text and "dev" in text and "test" in text
+
+
+def test_statistics_empty_corpus():
+    stats = corpus_statistics(TableCorpus([]))
+    assert stats["n_row"]["mean"] == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the ERNIE-style KB-injection pre-training extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import collate
+from repro.ext.kb_injection import NO_RELATION, KBInjectionPretrainer, RelationInjectionHead
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def injector(request):
+    context = request.getfixturevalue("context")
+    instances = context.instances_for(context.splits.train)[:16]
+    pretrainer = KBInjectionPretrainer(
+        context.fresh_model(seed=2), instances, context.candidate_builder,
+        context.kb, config=context.config, seed=0)
+    return context, instances, pretrainer
+
+
+def test_relation_head_shapes(rng):
+    head = RelationInjectionHead(dim=16, n_relations=5, rng=rng)
+    left = Tensor(np.random.default_rng(0).normal(size=(7, 16)))
+    right = Tensor(np.random.default_rng(1).normal(size=(7, 16)))
+    logits = head(left, right)
+    assert logits.shape == (7, 6)  # +1 for NO_RELATION
+
+
+def test_pair_labels_distant_supervision(injector, rng):
+    context, instances, pretrainer = injector
+    batch = collate(instances[:4])
+    kb_ids = [KBInjectionPretrainer._padded_kb_ids(i, batch["entity_ids"].shape[1])
+              for i in instances[:4]]
+    pairs = pretrainer._pair_labels(batch, kb_ids, rng)
+    assert pairs, "corpus rows should contain related pairs"
+    positives = [p for p in pairs if p[3] != NO_RELATION]
+    assert positives
+    # Verify a positive against the KB.
+    b, i, j, label = positives[0]
+    relation = pretrainer.relation_names[label - 1]
+    assert context.kb.has_fact(kb_ids[b][i], relation, kb_ids[b][j])
+    # Negatives are same-row unrelated pairs.
+    for b, i, j, label in pairs:
+        if label == NO_RELATION:
+            assert not context.kb.relations_between(kb_ids[b][i], kb_ids[b][j])
+
+
+def test_injection_step_adds_relation_loss(injector):
+    context, instances, pretrainer = injector
+    pretrainer._ensure_optimizer(10)
+    batch = collate(instances[:4])
+    kb_ids = [KBInjectionPretrainer._padded_kb_ids(i, batch["entity_ids"].shape[1])
+              for i in instances[:4]]
+    result = pretrainer.step(batch, kb_ids=kb_ids)
+    assert result["relation"] > 0
+    assert result["loss"] > result["mlm"]
+
+
+def test_injection_step_without_kb_ids_degrades(injector):
+    context, instances, pretrainer = injector
+    pretrainer._ensure_optimizer(10)
+    batch = collate(instances[:4])
+    result = pretrainer.step(batch)
+    assert result["relation"] == 0.0
+    assert result["loss"] > 0
+
+
+def test_train_with_kb_reduces_loss(request):
+    context = request.getfixturevalue("context")
+    instances = context.instances_for(context.splits.train)[:16]
+    pretrainer = KBInjectionPretrainer(
+        context.fresh_model(seed=3), instances, context.candidate_builder,
+        context.kb, config=context.config, seed=0)
+    losses = pretrainer.train_with_kb(n_epochs=6)
+    assert np.mean(losses[-3:]) < np.mean(losses[:3])
+    assert any(l > 0 for l in pretrainer.relation_losses)
+
+
+def test_relation_head_parameters_are_optimized(request):
+    context = request.getfixturevalue("context")
+    instances = context.instances_for(context.splits.train)[:8]
+    pretrainer = KBInjectionPretrainer(
+        context.fresh_model(seed=4), instances, context.candidate_builder,
+        context.kb, config=context.config, seed=0)
+    before = pretrainer.relation_head.classifier.weight.data.copy()
+    pretrainer.train_with_kb(n_epochs=1)
+    assert not np.allclose(before, pretrainer.relation_head.classifier.weight.data)

@@ -1,0 +1,60 @@
+"""Tests for the TAPAS-style flat-text column typer."""
+
+import numpy as np
+import pytest
+
+from repro.ext.tapas_baseline import TapasStyleColumnTyper
+from repro.tasks.column_type import build_column_type_dataset
+
+
+@pytest.fixture(scope="module")
+def tapas_setup(request):
+    context = request.getfixturevalue("context")
+    dataset = build_column_type_dataset(
+        context.kb, context.splits.train, context.splits.validation,
+        context.splits.test, min_type_instances=5)
+    typer = TapasStyleColumnTyper(context.tokenizer, len(dataset.type_names),
+                                  dim=32, num_layers=1, num_heads=2,
+                                  intermediate_dim=64)
+    return context, dataset, typer
+
+
+def test_flatten_respects_token_budget(tapas_setup):
+    context, dataset, typer = tapas_setup
+    table = dataset.train[0].table
+    ids, rows, cols, positions = typer._flatten(table)
+    assert len(ids) <= typer.max_tokens
+    assert len(ids) == len(rows) == len(cols)
+    assert rows.max() <= typer.max_rows + 1
+    assert cols.max() <= typer.max_columns + 1
+
+
+def test_flatten_column_positions_point_at_column(tapas_setup):
+    context, dataset, typer = tapas_setup
+    table = dataset.train[0].table
+    ids, rows, cols, positions = typer._flatten(table)
+    for col, token_positions in positions.items():
+        for position in token_positions:
+            assert cols[position] == col + 1
+
+
+def test_column_logits_shape(tapas_setup):
+    context, dataset, typer = tapas_setup
+    instance = dataset.train[0]
+    logits = typer.column_logits(instance.table, [instance.col])
+    assert logits.shape == (1, len(dataset.type_names))
+
+
+def test_tapas_learns_column_types(tapas_setup):
+    context, dataset, typer = tapas_setup
+    losses = typer.fit(dataset, epochs=2, max_instances=60)
+    assert losses[-1] < losses[0]
+    metrics = typer.evaluate(dataset.test[:20], dataset)
+    assert metrics.f1 > 0.3
+
+
+def test_tapas_predictions_nonempty(tapas_setup):
+    context, dataset, typer = tapas_setup
+    predictions = typer.predict(dataset.test[:5], dataset)
+    assert len(predictions) == 5
+    assert all(predictions)

@@ -1,0 +1,173 @@
+"""Tests for the KB store, schema, world generator and lookup service."""
+
+import numpy as np
+import pytest
+
+from repro.kb import Entity, KnowledgeBase, LookupService, RELATIONS, WorldConfig, generate_world
+from repro.kb.lookup import dice_similarity
+from repro.kb.schema import ancestors_of, expand_types, relations_with_domain
+
+
+def make_kb():
+    kb = KnowledgeBase()
+    kb.add_entity(Entity("p1", "Ana Roth", ["director"], aliases=["Roth"]))
+    kb.add_entity(Entity("c1", "Ashton", ["citytown"]))
+    kb.add_entity(Entity("f1", "The Silent River", ["film"]))
+    kb.add_fact("p1", "person.birthplace", "c1")
+    kb.add_fact("f1", "film.director", "p1")
+    return kb
+
+
+def test_schema_ancestors():
+    assert ancestors_of("actor") == ["actor", "person"]
+    assert ancestors_of("person") == ["person"]
+    with pytest.raises(KeyError):
+        ancestors_of("dragon")
+
+
+def test_schema_expand_types_dedups():
+    assert expand_types(["actor", "director"]) == ["actor", "person", "director"]
+
+
+def test_relations_with_domain_inherits():
+    names = {r.name for r in relations_with_domain("pro_athlete")}
+    assert "athlete.club" in names
+    assert "person.birthplace" in names  # inherited from person
+    assert "film.director" not in names
+
+
+def test_kb_fact_indexes():
+    kb = make_kb()
+    assert kb.objects_of("p1", "person.birthplace") == ["c1"]
+    assert kb.subjects_of("p1", "film.director") == ["f1"]
+    assert kb.relations_between("f1", "p1") == ["film.director"]
+    assert kb.has_fact("f1", "film.director", "p1")
+    assert not kb.has_fact("f1", "film.director", "c1")
+
+
+def test_kb_entities_of_type_includes_ancestors():
+    kb = make_kb()
+    assert "p1" in kb.entities_of_type("person")
+    assert "p1" in kb.entities_of_type("director")
+    assert "p1" not in kb.entities_of_type("actor")
+
+
+def test_kb_rejects_duplicates_and_unknowns():
+    kb = make_kb()
+    with pytest.raises(ValueError):
+        kb.add_entity(Entity("p1", "Dup", ["person"]))
+    with pytest.raises(KeyError):
+        kb.add_fact("p1", "not.a.relation", "c1")
+    with pytest.raises(KeyError):
+        kb.add_fact("ghost", "person.birthplace", "c1")
+
+
+def test_kb_duplicate_fact_is_idempotent():
+    kb = make_kb()
+    n = len(kb.facts)
+    kb.add_fact("p1", "person.birthplace", "c1")
+    assert len(kb.facts) == n
+    assert kb.objects_of("p1", "person.birthplace") == ["c1"]
+
+
+def test_kb_roundtrip(tmp_path):
+    kb = make_kb()
+    path = str(tmp_path / "kb.json")
+    kb.save(path)
+    loaded = KnowledgeBase.load(path)
+    assert len(loaded) == len(kb)
+    assert loaded.get("p1").aliases == ["Roth"]
+    assert loaded.has_fact("f1", "film.director", "p1")
+
+
+def test_generate_world_deterministic():
+    kb1 = generate_world(WorldConfig(seed=5))
+    kb2 = generate_world(WorldConfig(seed=5))
+    assert len(kb1) == len(kb2)
+    assert {e.name for e in kb1.entities.values()} == {e.name for e in kb2.entities.values()}
+    assert kb1.to_dict() == kb2.to_dict()
+
+
+def test_generate_world_coherence(kb):
+    """Structural invariants: every film has a director whose nationality's
+    language matches the film's language; ceremony winners direct the
+    winning films."""
+    for film_id in kb.entities_of_type("film"):
+        directors = kb.objects_of(film_id, "film.director")
+        assert len(directors) == 1
+        languages = kb.objects_of(film_id, "film.language")
+        assert len(languages) == 1
+    for ceremony_id in kb.entities_of_type("award_ceremony"):
+        winners = kb.objects_of(ceremony_id, "ceremony.winner")
+        films = kb.objects_of(ceremony_id, "ceremony.best_film")
+        if winners and films:
+            assert kb.has_fact(films[0], "film.director", winners[0])
+
+
+def test_generate_world_everyone_has_birthplace(kb):
+    for person_id in kb.entities_of_type("person"):
+        assert kb.objects_of(person_id, "person.birthplace")
+        assert kb.objects_of(person_id, "person.nationality")
+
+
+def test_world_descriptions_nonempty(kb):
+    missing = [e.entity_id for e in kb.entities.values() if not e.description]
+    assert not missing
+
+
+def test_world_scaled():
+    base = WorldConfig(seed=0)
+    double = base.scaled(2.0)
+    assert double.n_films == 2 * base.n_films
+    assert double.n_countries == 2 * base.n_countries
+
+
+def test_dice_similarity_bounds():
+    assert dice_similarity("abc", "abc") == 1.0
+    assert dice_similarity("abc", "xyz") == 0.0
+    assert 0 < dice_similarity("satyajit", "satyajif") < 1
+
+
+def test_lookup_exact_match_first(kb):
+    service = LookupService(kb)
+    entity = kb.get(kb.entities_of_type("director")[0])
+    results = service.lookup(entity.name, k=10)
+    assert results
+    top_names = [kb.get(r.entity_id).name for r in results[:3]]
+    assert entity.name in top_names
+
+
+def test_lookup_alias_finds_entity(kb):
+    service = LookupService(kb)
+    director_id = kb.entities_of_type("director")[0]
+    alias = kb.get(director_id).aliases[0]
+    results = service.lookup(alias, k=50)
+    assert director_id in {r.entity_id for r in results}
+
+
+def test_lookup_handles_typos(kb):
+    service = LookupService(kb)
+    entity = kb.get(kb.entities_of_type("film")[0])
+    name = entity.name
+    typo = name[:-2] + name[-1]  # drop a char near the end
+    results = service.lookup(typo, k=50)
+    assert entity.entity_id in {r.entity_id for r in results}
+
+
+def test_lookup_empty_and_garbage():
+    kb = make_kb()
+    service = LookupService(kb)
+    assert service.lookup("") == []
+    assert service.top1("qqqqzzzz") in (None, "p1", "c1", "f1")  # may be empty
+
+
+def test_lookup_scores_sorted(kb):
+    service = LookupService(kb)
+    results = service.lookup("Roth", k=20)
+    scores = [r.score for r in results]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_lookup_k_cap(kb):
+    service = LookupService(kb)
+    assert len(service.lookup("ashton", k=5)) <= 5

@@ -1,0 +1,73 @@
+"""Property-based tests for the name factories and world invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb import names
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_person_names_are_two_capitalized_words(seed):
+    rng = np.random.default_rng(seed)
+    name = names.person_name(rng)
+    parts = name.split()
+    assert len(parts) == 2
+    assert all(p[0].isupper() for p in parts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_person_aliases_derive_from_name(seed):
+    rng = np.random.default_rng(seed)
+    name = names.person_name(rng)
+    aliases = names.person_aliases(rng, name)
+    first, last = name.split()
+    assert last in aliases
+    assert f"{first[0]}. {last}" in aliases
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_film_titles_nonempty_and_titlecased(seed):
+    rng = np.random.default_rng(seed)
+    title = names.film_title(rng)
+    assert title
+    assert title == " ".join(w.capitalize() for w in title.split())
+
+
+def test_film_aliases_strip_the():
+    assert names.film_aliases("The Silent River") == ["Silent River"]
+    assert names.film_aliases("Crimson Garden") == []
+
+
+def test_club_aliases():
+    aliases = names.club_aliases("Ashton United")
+    assert "Ashton" in aliases
+    assert "AU" in aliases
+
+
+@pytest.mark.parametrize("n,expected", [
+    (1, "1st"), (2, "2nd"), (3, "3rd"), (4, "4th"),
+    (11, "11th"), (12, "12th"), (13, "13th"),
+    (21, "21st"), (102, "102nd"),
+])
+def test_ordinal(n, expected):
+    assert names.ordinal(n) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_language_derives_from_country(seed):
+    rng = np.random.default_rng(seed)
+    country = names.country_name(rng)
+    language = names.language_name(rng, country)
+    assert language
+    # Shares a root prefix with the country.
+    assert language.lower()[:3] == country.lower()[:3]
+
+
+def test_ceremony_name_embeds_ordinal():
+    assert names.ceremony_name(15, "National Film Awards") == "15th National Film Awards"

@@ -1,0 +1,202 @@
+"""Tests for Module system, layers, attention and transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    Sequential,
+    Tensor,
+    TransformerBlock,
+    TransformerEncoder,
+)
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+def test_linear_shapes_and_affine():
+    layer = Linear(4, 3, rng())
+    x = Tensor(np.ones((2, 4)))
+    out = layer(x)
+    assert out.shape == (2, 3)
+    expected = np.ones((2, 4)) @ layer.weight.data + layer.bias.data
+    np.testing.assert_allclose(out.data, expected)
+
+
+def test_linear_no_bias():
+    layer = Linear(4, 3, rng(), bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_embedding_lookup_and_bounds():
+    emb = Embedding(10, 6, rng())
+    ids = np.array([[0, 9], [3, 3]])
+    out = emb(ids)
+    assert out.shape == (2, 2, 6)
+    np.testing.assert_allclose(out.data[0, 1], emb.weight.data[9])
+    with pytest.raises(IndexError):
+        emb(np.array([10]))
+    with pytest.raises(IndexError):
+        emb(np.array([-1]))
+
+
+def test_layernorm_normalizes():
+    norm = LayerNorm(8)
+    x = Tensor(np.linspace(-4, 4, 16).reshape(2, 8))
+    out = norm(x)
+    np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+    np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_dropout_train_vs_eval():
+    drop = Dropout(0.5, rng=rng())
+    x = Tensor(np.ones((100, 100)))
+    drop.train()
+    out_train = drop(x)
+    # Inverted dropout preserves the expectation.
+    assert abs(out_train.data.mean() - 1.0) < 0.05
+    assert (out_train.data == 0).mean() > 0.3
+    drop.eval()
+    out_eval = drop(x)
+    np.testing.assert_allclose(out_eval.data, x.data)
+
+
+def test_dropout_invalid_rate():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_named_parameters_nested():
+    class Model(Module):
+        def __init__(self):
+            super().__init__()
+            self.encoder = Sequential(Linear(4, 4, rng()), Linear(4, 2, rng()))
+            self.head = Linear(2, 1, rng())
+
+    model = Model()
+    names = {name for name, _ in model.named_parameters()}
+    assert "encoder.steps.0.weight" in names
+    assert "encoder.steps.1.bias" in names
+    assert "head.weight" in names
+    assert len(names) == 6
+
+
+def test_state_dict_roundtrip():
+    model = Sequential(Linear(4, 4, rng()), Linear(4, 2, rng()))
+    state = model.state_dict()
+    clone = Sequential(Linear(4, 4, rng(ctx := None) if False else np.random.default_rng(99)),
+                       Linear(4, 2, np.random.default_rng(98)))
+    assert not np.allclose(clone.steps[0].weight.data, model.steps[0].weight.data)
+    clone.load_state_dict(state)
+    np.testing.assert_allclose(clone.steps[0].weight.data, model.steps[0].weight.data)
+    x = Tensor(np.ones((1, 4)))
+    np.testing.assert_allclose(model(x).data, clone(x).data)
+
+
+def test_load_state_dict_strict_errors():
+    model = Linear(2, 2, rng())
+    with pytest.raises(KeyError):
+        model.load_state_dict({"weight": np.zeros((2, 2))})  # missing bias
+    with pytest.raises(ValueError):
+        model.load_state_dict({"weight": np.zeros((3, 3)), "bias": np.zeros(2)})
+
+
+def test_train_eval_propagates():
+    block = TransformerBlock(8, 2, 16, rng(), dropout=0.1)
+    block.eval()
+    assert not block.attention.dropout.training
+    block.train()
+    assert block.attention.dropout.training
+
+
+def test_attention_output_shape_and_mask():
+    attn = MultiHeadAttention(8, 2, rng())
+    attn.eval()
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 8)))
+    out = attn(x)
+    assert out.shape == (2, 5, 8)
+
+    # With a diagonal-only mask each position attends solely to itself.
+    mask = np.eye(5, dtype=bool)
+    out_masked = attn(x, visibility=mask)
+    assert out_masked.shape == (2, 5, 8)
+    # Changing an invisible position must not change a masked output row.
+    x2 = x.data.copy()
+    x2[0, 3] += 10.0
+    out2 = attn(Tensor(x2), visibility=mask)
+    np.testing.assert_allclose(out_masked.data[0, 0], out2.data[0, 0], atol=1e-10)
+
+
+def test_attention_mask_asymmetric_batch():
+    attn = MultiHeadAttention(8, 2, rng())
+    attn.eval()
+    x = Tensor(np.random.default_rng(1).normal(size=(2, 4, 8)))
+    mask = np.ones((2, 4, 4), dtype=bool)
+    mask[1, 0, 2] = False  # batch 1, query 0 cannot see key 2
+    base = attn(x, visibility=np.ones((2, 4, 4), dtype=bool))
+    masked = attn(x, visibility=mask)
+    # Batch 0 is unchanged; batch 1 row 0 differs.
+    np.testing.assert_allclose(base.data[0], masked.data[0], atol=1e-12)
+    assert not np.allclose(base.data[1, 0], masked.data[1, 0])
+
+
+def test_attention_rejects_bad_mask_shape():
+    attn = MultiHeadAttention(8, 2, rng())
+    x = Tensor(np.zeros((1, 3, 8)))
+    with pytest.raises(ValueError):
+        attn(x, visibility=np.ones((4, 4), dtype=bool))
+
+
+def test_attention_dim_head_mismatch():
+    with pytest.raises(ValueError):
+        MultiHeadAttention(10, 3, rng())
+
+
+def test_transformer_encoder_end_to_end_gradients():
+    encoder = TransformerEncoder(2, 8, 2, 16, rng())
+    encoder.eval()
+    x = Tensor(np.random.default_rng(2).normal(size=(2, 6, 8)), requires_grad=True)
+    out = encoder(x)
+    assert out.shape == (2, 6, 8)
+    out.sum().backward()
+    assert x.grad is not None
+    for name, parameter in encoder.named_parameters():
+        assert parameter.grad is not None, f"no grad reached {name}"
+
+
+def test_training_reduces_loss():
+    """A tiny regression sanity check: the substrate can actually learn."""
+    gen = np.random.default_rng(3)
+    x_data = gen.normal(size=(64, 4))
+    true_w = gen.normal(size=(4, 1))
+    y = x_data @ true_w + 0.01 * gen.normal(size=(64, 1))
+
+    model = Sequential(Linear(4, 8, gen), Linear(8, 1, gen))
+    optimizer = Adam(model.parameters(), learning_rate=0.05)
+    first_loss = None
+    for _ in range(150):
+        out = model(Tensor(x_data))
+        loss = ((out - Tensor(y)) ** 2).mean()
+        if first_loss is None:
+            first_loss = loss.item()
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert loss.item() < first_loss * 0.05
+
+
+def test_module_list():
+    layers = ModuleList([Linear(2, 2, rng()) for _ in range(3)])
+    assert len(layers) == 3
+    assert isinstance(layers[1], Linear)
+    assert len(layers.parameters()) == 6

@@ -1,0 +1,273 @@
+"""Gradient correctness tests: autograd vs central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, stack, no_grad
+
+RNG = np.random.default_rng(7)
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_unary(op_name, data, autograd_fn, tol=1e-5):
+    t = Tensor(data.copy(), requires_grad=True)
+    out = autograd_fn(t).sum()
+    out.backward()
+
+    def scalar(x):
+        return float(autograd_fn(Tensor(x)).sum().data)
+
+    expected = numerical_grad(scalar, data.copy())
+    np.testing.assert_allclose(t.grad, expected, rtol=tol, atol=tol,
+                               err_msg=f"gradient mismatch for {op_name}")
+
+
+@pytest.mark.parametrize("op,fn", [
+    ("exp", lambda t: t.exp()),
+    ("log", lambda t: (t * t + 1.0).log()),
+    ("tanh", lambda t: t.tanh()),
+    ("sigmoid", lambda t: t.sigmoid()),
+    ("relu", lambda t: (t + 0.05).relu()),
+    ("gelu", lambda t: t.gelu()),
+    ("pow", lambda t: (t * t + 1.0) ** 1.5),
+    ("softmax", lambda t: t.softmax(axis=-1) * Tensor(np.arange(4.0))),
+    ("log_softmax", lambda t: t.log_softmax(axis=-1) * Tensor(np.arange(4.0))),
+])
+def test_unary_ops(op, fn):
+    data = RNG.normal(size=(3, 4))
+    check_unary(op, data, fn)
+
+
+def test_add_broadcast_grad():
+    a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+    np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+
+def test_mul_broadcast_grad():
+    a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(1, 3, 1)), requires_grad=True)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.broadcast_to(b.data, a.shape))
+    np.testing.assert_allclose(b.grad, a.data.sum(axis=(0, 2), keepdims=True).reshape(1, 3, 1) * 0 + a.data.sum(axis=(0, 2)).reshape(1, 3, 1))
+
+
+def test_matmul_grad_matches_numerical():
+    a_data = RNG.normal(size=(3, 4))
+    b_data = RNG.normal(size=(4, 2))
+    weights = RNG.normal(size=(3, 2))
+
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    ((a @ b) * Tensor(weights)).sum().backward()
+
+    def fa(x):
+        return float(((Tensor(x) @ Tensor(b_data)) * Tensor(weights)).sum().data)
+
+    def fb(x):
+        return float(((Tensor(a_data) @ Tensor(x)) * Tensor(weights)).sum().data)
+
+    np.testing.assert_allclose(a.grad, numerical_grad(fa, a_data.copy()), rtol=1e-5, atol=1e-6)
+    np.testing.assert_allclose(b.grad, numerical_grad(fb, b_data.copy()), rtol=1e-5, atol=1e-6)
+
+
+def test_batched_matmul_grad():
+    a_data = RNG.normal(size=(2, 3, 4))
+    b_data = RNG.normal(size=(2, 4, 5))
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+
+    def fa(x):
+        return float((Tensor(x) @ Tensor(b_data)).sum().data)
+
+    np.testing.assert_allclose(a.grad, numerical_grad(fa, a_data.copy()), rtol=1e-5, atol=1e-6)
+
+
+def test_matmul_broadcast_grad():
+    # (3, 4) @ (2, 4, 5): left operand broadcast over batch.
+    a_data = RNG.normal(size=(3, 4))
+    b_data = RNG.normal(size=(2, 4, 5))
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+
+    def fa(x):
+        return float((Tensor(x) @ Tensor(b_data)).sum().data)
+
+    np.testing.assert_allclose(a.grad, numerical_grad(fa, a_data.copy()), rtol=1e-5, atol=1e-6)
+
+
+def test_sum_axis_keepdims_grad():
+    data = RNG.normal(size=(2, 3, 4))
+    t = Tensor(data.copy(), requires_grad=True)
+    (t.sum(axis=1) * 2.0).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full(data.shape, 2.0))
+
+    t2 = Tensor(data.copy(), requires_grad=True)
+    (t2.sum(axis=(0, 2), keepdims=True) * 3.0).sum().backward()
+    np.testing.assert_allclose(t2.grad, np.full(data.shape, 3.0))
+
+
+def test_mean_grad():
+    data = RNG.normal(size=(4, 5))
+    t = Tensor(data.copy(), requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, np.full(data.shape, 1.0 / 20))
+
+
+def test_max_grad_splits_ties():
+    data = np.array([[1.0, 3.0, 3.0], [2.0, 0.0, 1.0]])
+    t = Tensor(data.copy(), requires_grad=True)
+    t.max(axis=1).sum().backward()
+    np.testing.assert_allclose(t.grad, [[0.0, 0.5, 0.5], [1.0, 0.0, 0.0]])
+
+
+def test_getitem_grad_scatter():
+    data = RNG.normal(size=(5, 3))
+    t = Tensor(data.copy(), requires_grad=True)
+    idx = np.array([0, 2, 2, 4])
+    t[idx].sum().backward()
+    expected = np.zeros((5, 3))
+    expected[0] = 1
+    expected[2] = 2
+    expected[4] = 1
+    np.testing.assert_allclose(t.grad, expected)
+
+
+def test_take_rows_grad():
+    data = RNG.normal(size=(6, 3))
+    t = Tensor(data.copy(), requires_grad=True)
+    ids = np.array([[1, 1], [5, 0]])
+    out = t.take_rows(ids)
+    assert out.shape == (2, 2, 3)
+    out.sum().backward()
+    expected = np.zeros((6, 3))
+    expected[1] = 2
+    expected[5] = 1
+    expected[0] = 1
+    np.testing.assert_allclose(t.grad, expected)
+
+
+def test_reshape_transpose_grad():
+    data = RNG.normal(size=(2, 3, 4))
+    t = Tensor(data.copy(), requires_grad=True)
+    scale = RNG.normal(size=(4, 3, 2))
+    (t.transpose(2, 1, 0) * Tensor(scale)).sum().backward()
+    np.testing.assert_allclose(t.grad, scale.transpose(2, 1, 0))
+
+    t2 = Tensor(data.copy(), requires_grad=True)
+    (t2.reshape(6, 4) * 2).sum().backward()
+    np.testing.assert_allclose(t2.grad, np.full(data.shape, 2.0))
+
+
+def test_layer_norm_grad_matches_numerical():
+    data = RNG.normal(size=(2, 5))
+    weight = RNG.normal(size=5)
+    bias = RNG.normal(size=5)
+    scale = RNG.normal(size=(2, 5))
+
+    t = Tensor(data.copy(), requires_grad=True)
+    w = Tensor(weight.copy(), requires_grad=True)
+    b = Tensor(bias.copy(), requires_grad=True)
+    (t.layer_norm(w, b) * Tensor(scale)).sum().backward()
+
+    def fx(x):
+        return float((Tensor(x).layer_norm(Tensor(weight), Tensor(bias)) * Tensor(scale)).sum().data)
+
+    def fw(x):
+        return float((Tensor(data).layer_norm(Tensor(x), Tensor(bias)) * Tensor(scale)).sum().data)
+
+    def fb(x):
+        return float((Tensor(data).layer_norm(Tensor(weight), Tensor(x)) * Tensor(scale)).sum().data)
+
+    np.testing.assert_allclose(t.grad, numerical_grad(fx, data.copy()), rtol=1e-4, atol=1e-6)
+    np.testing.assert_allclose(w.grad, numerical_grad(fw, weight.copy()), rtol=1e-4, atol=1e-6)
+    np.testing.assert_allclose(b.grad, numerical_grad(fb, bias.copy()), rtol=1e-4, atol=1e-6)
+
+
+def test_masked_fill_blocks_gradient():
+    data = RNG.normal(size=(3, 3))
+    mask = np.eye(3, dtype=bool)
+    t = Tensor(data.copy(), requires_grad=True)
+    t.masked_fill(mask, -100.0).sum().backward()
+    np.testing.assert_allclose(t.grad, 1.0 - np.eye(3))
+
+
+def test_concat_grad():
+    a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+    out = concat([a, b], axis=1)
+    assert out.shape == (2, 5)
+    (out * 2.0).sum().backward()
+    np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+    np.testing.assert_allclose(b.grad, np.full((2, 2), 2.0))
+
+
+def test_stack_grad():
+    a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+    out = stack([a, b], axis=0)
+    assert out.shape == (2, 3)
+    weights = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+    (out * Tensor(weights)).sum().backward()
+    np.testing.assert_allclose(a.grad, weights[0])
+    np.testing.assert_allclose(b.grad, weights[1])
+
+
+def test_division_grad():
+    a_data = RNG.normal(size=(3,)) + 3.0
+    b_data = RNG.normal(size=(3,)) + 3.0
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a / b).sum().backward()
+    np.testing.assert_allclose(a.grad, 1.0 / b_data)
+    np.testing.assert_allclose(b.grad, -a_data / b_data**2)
+
+
+def test_gradient_accumulates_across_uses():
+    t = Tensor(np.array([2.0]), requires_grad=True)
+    out = t * t + t * 3.0  # d/dt = 2t + 3 = 7
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, [7.0])
+
+
+def test_no_grad_context_disables_graph():
+    t = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        out = (t * 2.0).sum()
+    assert not out.requires_grad
+    with pytest.raises(RuntimeError):
+        out.backward()
+
+
+def test_backward_requires_scalar_without_grad_arg():
+    t = Tensor(np.ones((2, 2)), requires_grad=True)
+    out = t * 2.0
+    with pytest.raises(RuntimeError):
+        out.backward()
+    out.backward(np.ones((2, 2)))
+    np.testing.assert_allclose(t.grad, np.full((2, 2), 2.0))
+
+
+def test_detach_cuts_graph():
+    t = Tensor(np.ones(2), requires_grad=True)
+    out = (t.detach() * 5.0).sum()
+    assert not out.requires_grad

@@ -1,0 +1,128 @@
+"""Edge-case tests for the autograd tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+def test_squeeze_valid_and_invalid():
+    t = Tensor(np.zeros((2, 1, 3)), requires_grad=True)
+    assert t.squeeze(1).shape == (2, 3)
+    assert t.squeeze(-2).shape == (2, 3)
+    with pytest.raises(ValueError):
+        t.squeeze(0)
+
+
+def test_matmul_1d_1d_is_dot():
+    a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    b = Tensor(np.array([4.0, 5.0, 6.0]), requires_grad=True)
+    out = a @ b
+    assert out.shape == ()
+    assert out.item() == pytest.approx(32.0)
+    out.backward()
+    np.testing.assert_allclose(a.grad, b.data)
+    np.testing.assert_allclose(b.grad, a.data)
+
+
+def test_matmul_1d_2d_and_2d_1d():
+    v = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    m = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    out = v @ m
+    assert out.shape == (3,)
+    out.sum().backward()
+    np.testing.assert_allclose(v.grad, m.data.sum(axis=1))
+
+    m2 = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+    v2 = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    out2 = m2 @ v2
+    assert out2.shape == (3,)
+    out2.sum().backward()
+    np.testing.assert_allclose(v2.grad, m2.data.sum(axis=0))
+
+
+def test_pow_rejects_tensor_exponent():
+    t = Tensor(np.ones(3))
+    with pytest.raises(TypeError):
+        t ** Tensor(np.ones(3))
+
+
+def test_rsub_rtruediv():
+    t = Tensor(np.array([2.0]), requires_grad=True)
+    (10.0 - t).backward(np.ones(1))
+    np.testing.assert_allclose(t.grad, [-1.0])
+    t2 = Tensor(np.array([2.0]), requires_grad=True)
+    (10.0 / t2).backward(np.ones(1))
+    np.testing.assert_allclose(t2.grad, [-10.0 / 4.0])
+
+
+def test_getitem_slice_grad():
+    t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+    t[1:, :2].sum().backward()
+    expected = np.zeros((3, 4))
+    expected[1:, :2] = 1.0
+    np.testing.assert_allclose(t.grad, expected)
+
+
+def test_softmax_other_axis():
+    data = np.random.default_rng(0).normal(size=(3, 4))
+    t = Tensor(data)
+    out = t.softmax(axis=0)
+    np.testing.assert_allclose(out.data.sum(axis=0), 1.0)
+
+
+def test_max_keepdims():
+    t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    out = t.max(axis=1, keepdims=True)
+    assert out.shape == (2, 1)
+    out.sum().backward()
+    expected = np.zeros((2, 3))
+    expected[0, 2] = expected[1, 2] = 1.0
+    np.testing.assert_allclose(t.grad, expected)
+
+
+def test_reshape_minus_one():
+    t = Tensor(np.zeros((2, 3, 4)))
+    assert t.reshape(6, -1).shape == (6, 4)
+    assert t.reshape(-1).shape == (24,)
+
+
+def test_transpose_default_reverses():
+    t = Tensor(np.zeros((2, 3, 4)))
+    assert t.transpose().shape == (4, 3, 2)
+
+
+def test_repr_and_len():
+    t = Tensor(np.zeros((5, 2)), requires_grad=True)
+    assert "requires_grad=True" in repr(t)
+    assert len(t) == 5
+
+
+def test_item_on_scalar_only():
+    assert Tensor(np.array(3.5)).item() == 3.5
+    with pytest.raises((TypeError, ValueError)):
+        Tensor(np.zeros(3)).item()
+
+
+def test_backward_on_no_grad_tensor_raises():
+    with pytest.raises(RuntimeError):
+        Tensor(np.ones(2)).backward(np.ones(2))
+
+
+def test_sigmoid_extreme_values_stable():
+    t = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+    out = t.sigmoid().data
+    assert np.isfinite(out).all()
+    np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+
+def test_exp_log_chain_grad():
+    t = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+    (t.exp().log()).sum().backward()  # identity composition
+    np.testing.assert_allclose(t.grad, [1.0, 1.0], atol=1e-12)
+
+
+def test_relu_at_zero_subgradient():
+    t = Tensor(np.array([0.0]), requires_grad=True)
+    t.relu().sum().backward()
+    assert t.grad[0] in (0.0, 1.0)  # valid subgradient; ours picks 0

@@ -1,0 +1,135 @@
+"""Tests for BM25, tf-idf and Word2Vec substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval import BM25Index, TfIdfVectorizer, Word2Vec, Word2VecConfig, cosine_similarity
+
+DOCS = {
+    "d1": "list of award recipients national film award",
+    "d2": "football clubs in harvmark stadium city",
+    "d3": "films directed by famous director award",
+    "d4": "albums by the musician discography genre",
+}
+
+
+def test_bm25_relevant_doc_first():
+    index = BM25Index(DOCS)
+    results = index.search("national film award", k=4)
+    assert results[0][0] == "d1"
+
+
+def test_bm25_scores_positive_and_sorted():
+    index = BM25Index(DOCS)
+    results = index.search("award", k=4)
+    scores = [s for _, s in results]
+    assert all(s > 0 for s in scores)
+    assert scores == sorted(scores, reverse=True)
+    assert {d for d, _ in results} == {"d1", "d3"}
+
+
+def test_bm25_no_match_returns_empty():
+    index = BM25Index(DOCS)
+    assert index.search("zzzz qqqq") == []
+
+
+def test_bm25_rare_term_outweighs_common():
+    index = BM25Index(DOCS)
+    # "stadium" appears only in d2; "award" in two docs.
+    assert index.score("stadium", "d2") > index.score("award", "d1") * 0.5
+
+
+def test_bm25_unknown_doc_raises():
+    index = BM25Index(DOCS)
+    with pytest.raises(KeyError):
+        index.score("award", "ghost")
+
+
+def test_tfidf_identical_texts_similarity_one():
+    vectorizer = TfIdfVectorizer().fit(DOCS.values())
+    a = vectorizer.transform("national film award")
+    assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+
+def test_tfidf_unrelated_texts_low_similarity():
+    vectorizer = TfIdfVectorizer().fit(DOCS.values())
+    a = vectorizer.transform("national film award recipients")
+    b = vectorizer.transform("football clubs stadium")
+    assert cosine_similarity(a, b) < 0.2
+
+
+def test_tfidf_requires_fit():
+    with pytest.raises(RuntimeError):
+        TfIdfVectorizer().transform("anything")
+
+
+def test_tfidf_oov_gives_zero_vector():
+    vectorizer = TfIdfVectorizer().fit(DOCS.values())
+    v = vectorizer.transform("zzzz qqqq")
+    assert np.allclose(v, 0)
+    assert cosine_similarity(v, v) == 0.0
+
+
+def test_cosine_zero_vectors():
+    assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+def make_sentences():
+    # Two clean clusters: (a b c) and (x y z) never co-occur.
+    rng = np.random.default_rng(0)
+    sentences = []
+    for _ in range(150):
+        if rng.random() < 0.5:
+            sentences.append(["a", "b", "c", "a", "b"])
+        else:
+            sentences.append(["x", "y", "z", "x", "y"])
+    return sentences
+
+
+def test_word2vec_cluster_structure():
+    model = Word2Vec(Word2VecConfig(dim=16, epochs=3, seed=1)).train(make_sentences())
+    assert model.similarity("a", "b") > model.similarity("a", "x")
+    assert model.similarity("x", "y") > model.similarity("y", "c")
+
+
+def test_word2vec_most_similar():
+    model = Word2Vec(Word2VecConfig(dim=16, epochs=3, seed=1)).train(make_sentences())
+    neighbors = [t for t, _ in model.most_similar("a", k=2)]
+    assert set(neighbors) <= {"b", "c"}
+
+
+def test_word2vec_oov():
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=1)).train(make_sentences())
+    assert model.vector("missing") is None
+    assert model.similarity("missing", "a") == 0.0
+    assert model.most_similar("missing") == []
+
+
+def test_word2vec_min_count_filters():
+    sentences = [["common", "common", "rare"]] + [["common", "other"]] * 5
+    model = Word2Vec(Word2VecConfig(min_count=2, epochs=1)).train(sentences)
+    assert "common" in model
+    assert "rare" not in model
+
+
+def test_word2vec_empty_raises():
+    with pytest.raises(ValueError):
+        Word2Vec(Word2VecConfig(min_count=5)).train([["a"]])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["award", "film", "club"]), min_size=1, max_size=6))
+def test_property_bm25_score_nonnegative(query_terms):
+    index = BM25Index(DOCS)
+    for doc_id in DOCS:
+        assert index.score(" ".join(query_terms), doc_id) >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.text(alphabet="abcdefg ", min_size=0, max_size=30))
+def test_property_tfidf_norm_at_most_one(text):
+    vectorizer = TfIdfVectorizer().fit(DOCS.values())
+    v = vectorizer.transform(text)
+    assert np.linalg.norm(v) <= 1.0 + 1e-9

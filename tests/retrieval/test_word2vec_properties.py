@@ -1,0 +1,59 @@
+"""Determinism and robustness properties of the Word2Vec substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval.word2vec import Word2Vec, Word2VecConfig
+
+
+def corpus():
+    rng = np.random.default_rng(5)
+    sentences = []
+    for _ in range(60):
+        base = ["red", "green", "blue"] if rng.random() < 0.5 else ["cat", "dog", "fox"]
+        sentences.append(list(rng.permutation(base)) + [base[0]])
+    return sentences
+
+
+def test_training_is_deterministic():
+    a = Word2Vec(Word2VecConfig(dim=8, epochs=2, seed=9)).train(corpus())
+    b = Word2Vec(Word2VecConfig(dim=8, epochs=2, seed=9)).train(corpus())
+    np.testing.assert_allclose(a.input_vectors, b.input_vectors)
+
+
+def test_different_seeds_differ():
+    a = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=1)).train(corpus())
+    b = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=2)).train(corpus())
+    assert not np.allclose(a.input_vectors, b.input_vectors)
+
+
+def test_similarity_symmetric():
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=0)).train(corpus())
+    assert model.similarity("red", "green") == model.similarity("green", "red")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(["red", "green", "blue", "cat", "dog", "fox"]))
+def test_property_self_similarity_is_one(token):
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=3)).train(corpus())
+    assert model.similarity(token, token) == 1.0 or np.isclose(
+        model.similarity(token, token), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(["red", "green", "blue", "cat", "dog", "fox"]),
+       st.sampled_from(["red", "green", "blue", "cat", "dog", "fox"]))
+def test_property_similarity_bounded(a, b):
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=3)).train(corpus())
+    value = model.similarity(a, b)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+def test_most_similar_excludes_self_and_is_sorted():
+    model = Word2Vec(Word2VecConfig(dim=8, epochs=2, seed=0)).train(corpus())
+    results = model.most_similar("red", k=4)
+    names = [n for n, _ in results]
+    scores = [s for _, s in results]
+    assert "red" not in names
+    assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,129 @@
+"""Tests for cell filling: header statistics, candidates, rankers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cell_filling import ExactRanker, H2HRanker, H2VRanker
+from repro.tasks.cell_filling import (
+    CellFillingCandidates,
+    HeaderStatistics,
+    TURLCellFiller,
+    build_filling_instances,
+)
+
+
+@pytest.fixture(scope="module")
+def filling(request):
+    context = request.getfixturevalue("context")
+    statistics = HeaderStatistics(context.splits.train)
+    candidates = CellFillingCandidates(context.splits.train, statistics)
+    instances = build_filling_instances(context.splits.test)
+    return context, statistics, candidates, instances
+
+
+def test_instances_from_subject_object_pairs(filling):
+    context, _, _, instances = filling
+    assert instances
+    for instance in instances[:20]:
+        assert instance.subject_id
+        assert instance.true_object
+        assert instance.object_header
+
+
+def test_header_statistics_probability_axioms(filling):
+    _, statistics, _, _ = filling
+    headers = {h for pair in statistics.n for h in pair}
+    assert headers
+    some = next(iter(headers))
+    # P(.|h) sums to ~1 over observed source headers.
+    total = sum(statistics.probability(h, some) for h in headers)
+    assert total == pytest.approx(1.0, abs=1e-6)
+    assert statistics.probability("no such header", some) == 0.0
+    assert statistics.probability(some, "no such header") == 0.0
+
+
+def test_header_statistics_self_probability_positive(filling):
+    _, statistics, _, _ = filling
+    headers = {h for pair in statistics.n for h in pair}
+    some = next(iter(sorted(headers)))
+    assert statistics.probability(some, some) > 0.0
+
+
+def test_candidates_grouped_with_source_headers(filling):
+    _, _, candidates, instances = filling
+    instance = next(i for i in instances
+                    if candidates.row_neighbors.get(i.subject_id))
+    results = candidates.candidates_for(instance.subject_id,
+                                        instance.object_header,
+                                        filter_related=False)
+    assert results
+    for entity_id, headers in results:
+        assert headers
+    ids = [entity_id for entity_id, _ in results]
+    assert len(ids) == len(set(ids))
+
+
+def test_filter_reduces_candidates(filling):
+    _, _, candidates, instances = filling
+    filtered_total = unfiltered_total = 0
+    for instance in instances[:50]:
+        filtered_total += len(candidates.candidates_for(
+            instance.subject_id, instance.object_header))
+        unfiltered_total += len(candidates.candidates_for(
+            instance.subject_id, instance.object_header, filter_related=False))
+    assert filtered_total <= unfiltered_total
+
+
+def test_recall_reports(filling):
+    _, _, candidates, instances = filling
+    recall, size = candidates.recall(instances[:50])
+    assert 0.0 <= recall <= 1.0
+    assert size >= 0.0
+
+
+def test_exact_ranker_prefers_matching_header():
+    ranker = ExactRanker()
+    candidates = [("right", ["club"]), ("wrong", ["stadium"])]
+    class Q:
+        object_header = "Club"
+    ranked = ranker.rank(Q(), candidates)
+    assert ranked[0] == "right"
+
+
+def test_h2h_ranker_uses_statistics(filling):
+    _, statistics, candidates, instances = filling
+    ranker = H2HRanker(statistics)
+    instance = instances[0]
+    pairs = candidates.candidates_for(instance.subject_id, instance.object_header,
+                                      filter_related=False)
+    ranked = ranker.rank(instance, pairs)
+    assert len(ranked) == len(pairs)
+
+
+def test_h2v_ranker_synonym_similarity(filling):
+    context, _, _, _ = filling
+    ranker = H2VRanker(context.splits.train, epochs=2)
+    assert ranker.similarity("club", "club") == 1.0
+    assert -1.0 <= ranker.similarity("club", "stadium") <= 1.0
+
+
+def test_turl_filler_ranks_with_mer(filling):
+    context, _, candidates, instances = filling
+    filler = TURLCellFiller(context.model, context.linearizer)
+    instance = next(i for i in instances
+                    if len(candidates.candidates_for(
+                        i.subject_id, i.object_header, filter_related=False)) >= 2)
+    pairs = candidates.candidates_for(instance.subject_id, instance.object_header,
+                                      filter_related=False)
+    ids = [c for c, _ in pairs]
+    ranked = filler.rank(instance, ids)
+    assert sorted(ranked) == sorted(ids)
+    assert filler.rank(instance, []) == []
+
+
+def test_turl_filler_precision_at(filling):
+    context, _, candidates, instances = filling
+    filler = TURLCellFiller(context.model, context.linearizer)
+    per_k = filler.evaluate_precision_at(instances[:30], candidates)
+    assert set(per_k) == {1, 3, 5, 10}
+    assert per_k[10] >= per_k[1]

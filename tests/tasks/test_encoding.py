@@ -1,0 +1,91 @@
+"""Tests for shared task encoding utilities (ablations, column pooling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import collate
+from repro.nn import Tensor
+from repro.tasks.encoding import (
+    InputAblation,
+    apply_ablation_to_batch,
+    column_representation,
+    strip_metadata,
+)
+from repro.text.vocab import MASK_ID, PAD_ID
+
+
+@pytest.fixture(scope="module")
+def encoded(request):
+    context = request.getfixturevalue("context")
+    table = context.splits.train[0]
+    instance = context.linearizer.encode(table)
+    return context, table, instance
+
+
+def test_ablation_factories():
+    assert InputAblation.full().use_metadata
+    only_mention = InputAblation.only_mention()
+    assert not only_mention.use_metadata
+    assert not only_mention.use_entity_embedding
+    assert only_mention.use_mention
+    only_embedding = InputAblation.only_entity_embedding()
+    assert not only_embedding.use_mention
+    assert only_embedding.use_entity_embedding
+
+
+def test_strip_metadata_blanks_text(encoded):
+    _, table, _ = encoded
+    stripped = strip_metadata(table)
+    assert stripped.caption_text() == ""
+    assert all(h == "" for h in stripped.headers)
+    # The original table is untouched.
+    assert table.caption_text() != ""
+
+
+def test_apply_ablation_masks_entities(encoded):
+    context, _, instance = encoded
+    batch = collate([instance])
+    apply_ablation_to_batch(batch, InputAblation.without_entity_embedding())
+    real = batch["entity_mask"] & (batch["entity_ids"] != PAD_ID)
+    assert (batch["entity_ids"][real] == MASK_ID).all()
+
+
+def test_apply_ablation_masks_mentions(encoded):
+    context, _, instance = encoded
+    batch = collate([instance])
+    apply_ablation_to_batch(batch, InputAblation.only_metadata())
+    np.testing.assert_array_equal(batch["mention_masked"], batch["entity_mask"])
+
+
+def test_column_representation_shape_and_content(encoded):
+    context, table, instance = encoded
+    batch = collate([instance])
+    token_hidden, entity_hidden = context.model.encode(batch)
+    col = table.entity_columns()[0]
+    pooled = column_representation(token_hidden[0], entity_hidden[0], instance, col)
+    assert pooled.shape == (2 * context.config.dim,)
+    assert not np.allclose(pooled.data, 0.0)
+
+
+def test_column_representation_missing_header_is_zero(encoded):
+    context, table, _ = encoded
+    stripped = strip_metadata(table)
+    instance = context.linearizer.encode(stripped)
+    batch = collate([instance])
+    token_hidden, entity_hidden = context.model.encode(batch)
+    col = table.entity_columns()[0]
+    pooled = column_representation(token_hidden[0], entity_hidden[0], instance, col)
+    dim = context.config.dim
+    np.testing.assert_allclose(pooled.data[:dim], 0.0)
+    assert not np.allclose(pooled.data[dim:], 0.0)
+
+
+def test_column_representation_gradient_flows(encoded):
+    context, table, instance = encoded
+    batch = collate([instance])
+    token_hidden, entity_hidden = context.model.encode(batch)
+    col = table.entity_columns()[0]
+    pooled = column_representation(token_hidden[0], entity_hidden[0], instance, col)
+    pooled.sum().backward()
+    assert context.model.embedding.word.weight.grad is not None
+    context.model.zero_grad()

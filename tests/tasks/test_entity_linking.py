@@ -1,0 +1,116 @@
+"""Tests for entity linking: dataset, scoring semantics, TURL and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hybrid import HybridLinker, train_corpus_entity_embeddings
+from repro.baselines.lookup_linker import LookupLinker
+from repro.baselines.t2k import T2KLinker
+from repro.kb.lookup import LookupService
+from repro.kb.schema import all_types
+from repro.tasks.entity_linking import (
+    LinkingInstance,
+    TURLEntityLinker,
+    build_linking_dataset,
+    evaluate_linking,
+    oracle_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def linking(request):
+    context = request.getfixturevalue("context")
+    lookup = LookupService(context.kb)
+    test = build_linking_dataset(context.splits.test, lookup, max_instances=60, seed=1)
+    train = build_linking_dataset(context.splits.train, lookup,
+                                  require_truth=True, max_instances=80, seed=1)
+    return context, lookup, train, test
+
+
+def test_dataset_builder_extracts_linked_mentions(linking):
+    _, _, train, test = linking
+    assert train and test
+    for instance in train:
+        assert instance.true_id in instance.candidates  # require_truth
+        assert len(instance.candidates) == len(instance.candidate_scores)
+
+
+def test_dataset_builder_max_instances(linking):
+    context, lookup, _, _ = linking
+    limited = build_linking_dataset(context.splits.test, lookup, max_instances=5)
+    assert len(limited) == 5
+
+
+def test_evaluate_linking_semantics():
+    instances = [
+        LinkingInstance(None, 0, 0, "m", "e1", ["e1"]),
+        LinkingInstance(None, 0, 1, "m", "e2", ["e3"]),
+        LinkingInstance(None, 0, 2, "m", "e4", []),
+    ]
+    metrics = evaluate_linking(["e1", "e3", None], instances)
+    # tp=1, fp=1 (wrong link), no-prediction only hurts recall.
+    assert metrics.precision == pytest.approx(0.5)
+    assert metrics.recall == pytest.approx(1 / 3)
+
+
+def test_oracle_counts_candidate_recall():
+    instances = [
+        LinkingInstance(None, 0, 0, "m", "e1", ["e9", "e1"]),
+        LinkingInstance(None, 0, 1, "m", "e2", ["e9"]),
+    ]
+    metrics = oracle_metrics(instances)
+    assert metrics.recall == pytest.approx(0.5)
+
+
+def test_lookup_linker_predicts_top1(linking):
+    _, _, _, test = linking
+    predictions = LookupLinker().predict(test)
+    for predicted, instance in zip(predictions, test):
+        if instance.candidates:
+            assert predicted == instance.candidates[0]
+        else:
+            assert predicted is None
+
+
+def test_t2k_linker_runs_and_is_precision_oriented(linking):
+    context, _, _, test = linking
+    linker = T2KLinker(context.kb, min_confidence=0.9)
+    metrics = linker.evaluate(test)
+    # The confidence gate should refuse some links: precision >= recall.
+    assert metrics.precision >= metrics.recall
+
+
+def test_hybrid_linker_at_least_lookup(linking):
+    context, _, _, test = linking
+    embeddings = train_corpus_entity_embeddings(context.splits.train, epochs=1)
+    hybrid = HybridLinker(embeddings).evaluate(test)
+    lookup = LookupLinker().evaluate(test)
+    assert hybrid.f1 >= lookup.f1 - 0.08
+
+
+def test_turl_linker_finetune_and_predict(linking):
+    context, _, train, test = linking
+    linker = TURLEntityLinker(context.clone_model(), context.linearizer,
+                              context.kb, all_types())
+    losses = linker.finetune(train, epochs=2, learning_rate=5e-4)
+    assert losses[-1] < losses[0]
+    predictions = linker.predict(test[:20])
+    assert len(predictions) == 20
+    for predicted, instance in zip(predictions, test[:20]):
+        if instance.candidates:
+            assert predicted in instance.candidates
+        else:
+            assert predicted is None
+
+
+def test_turl_linker_ablation_flags(linking):
+    context, _, train, _ = linking
+    linker = TURLEntityLinker(context.clone_model(), context.linearizer,
+                              context.kb, all_types(),
+                              use_description=False, use_types=False)
+    entity_id = next(iter(context.kb.entities))
+    representation = linker.candidate_representation(entity_id).data
+    dim = context.config.dim
+    # Description and type thirds are zeroed.
+    assert np.allclose(representation[dim:], 0.0)
+    assert not np.allclose(representation[:dim], 0.0)

@@ -1,0 +1,97 @@
+"""Tests for benchmark metrics, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks.metrics import (
+    PrecisionRecallF1,
+    average_precision,
+    mean_average_precision,
+    multilabel_micro_prf,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+def test_prf_from_counts():
+    metrics = PrecisionRecallF1.from_counts(8, 2, 2)
+    assert metrics.precision == pytest.approx(0.8)
+    assert metrics.recall == pytest.approx(0.8)
+    assert metrics.f1 == pytest.approx(0.8)
+
+
+def test_prf_zero_division_safe():
+    metrics = PrecisionRecallF1.from_counts(0, 0, 0)
+    assert metrics.f1 == 0.0
+    assert PrecisionRecallF1.from_counts(0, 5, 0).precision == 0.0
+
+
+def test_prf_percentages():
+    metrics = PrecisionRecallF1(0.5, 0.25, 1 / 3).as_percentages()
+    assert metrics.precision == pytest.approx(50)
+
+
+def test_multilabel_micro():
+    predictions = [{"a", "b"}, {"c"}]
+    truths = [{"a"}, {"c", "d"}]
+    metrics = multilabel_micro_prf(predictions, truths)
+    # tp=2 (a, c), fp=1 (b), fn=1 (d)
+    assert metrics.precision == pytest.approx(2 / 3)
+    assert metrics.recall == pytest.approx(2 / 3)
+
+
+def test_average_precision_perfect():
+    assert average_precision(["a", "b", "c"], {"a", "b"}) == pytest.approx(1.0)
+
+
+def test_average_precision_worst():
+    assert average_precision(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+
+def test_average_precision_empty_relevant():
+    assert average_precision(["a"], set()) == 0.0
+
+
+def test_map_averages():
+    value = mean_average_precision([["a"], ["x", "b"]], [{"a"}, {"b"}])
+    assert value == pytest.approx((1.0 + 0.5) / 2)
+
+
+def test_map_empty():
+    assert mean_average_precision([], []) == 0.0
+
+
+def test_precision_at_k():
+    assert precision_at_k(["x", "a"], {"a"}, 1) == 0.0
+    assert precision_at_k(["x", "a"], {"a"}, 2) == 1.0
+
+
+def test_recall_at_k():
+    assert recall_at_k(["a", "x", "b"], {"a", "b", "c"}, 3) == pytest.approx(2 / 3)
+    assert recall_at_k(["a"], set(), 1) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=15, unique=True),
+       st.sets(st.integers(0, 20), min_size=1, max_size=10))
+def test_property_ap_bounded(ranked, relevant):
+    value = average_precision(ranked, relevant)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=10, unique=True),
+       st.sets(st.integers(0, 10), min_size=1, max_size=5))
+def test_property_patk_monotone_in_k(ranked, relevant):
+    values = [precision_at_k(ranked, relevant, k) for k in range(1, len(ranked) + 1)]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50))
+def test_property_f1_between_p_and_r(tp, fp, fn):
+    metrics = PrecisionRecallF1.from_counts(tp, fp, fn)
+    low, high = sorted([metrics.precision, metrics.recall])
+    assert low - 1e-9 <= metrics.f1 <= high + 1e-9

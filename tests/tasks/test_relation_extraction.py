@@ -1,0 +1,118 @@
+"""Tests for relation extraction: labeling rule, TURL and BERT-style models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bert_re import BertStyleRelationExtractor
+from repro.data.table import Column, EntityCell, Table
+from repro.kb import Entity, KnowledgeBase
+from repro.tasks.relation_extraction import (
+    TURLRelationExtractor,
+    build_relation_dataset,
+    column_pair_relations,
+)
+
+
+@pytest.fixture(scope="module")
+def relation_dataset(request):
+    context = request.getfixturevalue("context")
+    dataset = build_relation_dataset(
+        context.kb, context.splits.train, context.splits.validation,
+        context.splits.test, min_relation_instances=5)
+    return context, dataset
+
+
+def test_majority_vote_labeling():
+    kb = KnowledgeBase()
+    for i in range(4):
+        kb.add_entity(Entity(f"f{i}", f"Film {i}", ["film"]))
+        kb.add_entity(Entity(f"d{i}", f"Dir {i}", ["director"]))
+    kb.add_fact("f0", "film.director", "d0")
+    kb.add_fact("f1", "film.director", "d1")
+    kb.add_fact("f2", "film.director", "d2")
+    # f3-d3 deliberately unrelated: 3/4 pairs share the relation.
+    table = Table("t", "", "", "", None, columns=[
+        Column("Film", "entity", [EntityCell(f"f{i}", f"Film {i}") for i in range(4)]),
+        Column("Director", "entity", [EntityCell(f"d{i}", f"Dir {i}") for i in range(4)]),
+    ])
+    assert column_pair_relations(table, 0, 1, kb) == {"film.director"}
+    # Flip majority: only 2/4 pairs related -> no label.
+    table.columns[1].cells[2] = EntityCell("d0", "Dir 0")
+    assert column_pair_relations(table, 0, 1, kb) is None
+
+
+def test_dataset_uses_subject_column(relation_dataset):
+    _, dataset = relation_dataset
+    assert dataset.relation_names
+    for instance in dataset.train[:20]:
+        assert instance.subject_col == instance.table.subject_column
+        assert instance.object_col != instance.subject_col
+
+
+def test_dataset_labels_match_synthesizer_annotations(relation_dataset):
+    """Majority-vote labels should usually agree with the generator's
+    ground-truth column relations."""
+    _, dataset = relation_dataset
+    agreements = total = 0
+    for instance in dataset.train[:50]:
+        annotated = instance.table.columns[instance.object_col].relation
+        if annotated is None:
+            continue
+        total += 1
+        agreements += annotated in instance.relations
+    assert total > 0
+    assert agreements / total > 0.9
+
+
+def test_turl_extractor_learns(relation_dataset):
+    context, dataset = relation_dataset
+    extractor = TURLRelationExtractor(context.clone_model(), context.linearizer,
+                                      len(dataset.relation_names))
+    history = extractor.finetune(dataset, epochs=1, max_instances=80)
+    assert np.mean(history["losses"][-10:]) < np.mean(history["losses"][:10])
+    metrics = extractor.evaluate(dataset.test[:20], dataset)
+    assert metrics.f1 > 0.4
+
+
+def test_turl_extractor_map_curve(relation_dataset):
+    context, dataset = relation_dataset
+    extractor = TURLRelationExtractor(context.clone_model(), context.linearizer,
+                                      len(dataset.relation_names))
+    history = extractor.finetune(dataset, epochs=1, max_instances=60,
+                                 map_every=20, map_instances=10)
+    assert history["map_steps"]
+    assert len(history["map_steps"]) == len(history["map_values"])
+    assert all(0.0 <= v <= 1.0 for v in history["map_values"])
+
+
+def test_bert_baseline_learns(relation_dataset):
+    context, dataset = relation_dataset
+    baseline = BertStyleRelationExtractor(context.tokenizer,
+                                          len(dataset.relation_names),
+                                          dim=32, num_layers=1, num_heads=2,
+                                          intermediate_dim=64)
+    history = baseline.finetune(dataset, epochs=1, max_instances=80)
+    assert np.mean(history["losses"][-10:]) < np.mean(history["losses"][:10])
+    predictions = baseline.predict(dataset.test[:5], dataset)
+    assert len(predictions) == 5
+    assert all(predictions)
+
+
+def test_bert_baseline_ignores_cells(relation_dataset):
+    """The text-only baseline must be invariant to table cell contents."""
+    import copy
+    context, dataset = relation_dataset
+    baseline = BertStyleRelationExtractor(context.tokenizer,
+                                          len(dataset.relation_names),
+                                          dim=32, num_layers=1, num_heads=2,
+                                          intermediate_dim=64)
+    baseline.eval()
+    instance = dataset.test[0]
+    logits_a = baseline.pair_logits(instance).data
+    shuffled = copy.deepcopy(instance)
+    for column in shuffled.table.columns:
+        if column.is_entity:
+            for cell in column.cells:
+                cell.mention = "zzz"
+    logits_b = baseline.pair_logits(shuffled).data
+    np.testing.assert_allclose(logits_a, logits_b)

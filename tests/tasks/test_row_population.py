@@ -1,0 +1,108 @@
+"""Tests for row population: instances, candidate generation, rankers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.entitables import EntiTablesRowPopulator
+from repro.baselines.table2vec import Table2VecRowPopulator, train_entity_embeddings
+from repro.tasks.row_population import (
+    PopulationCandidateGenerator,
+    TURLRowPopulator,
+    build_population_instances,
+    partial_table,
+)
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    context = request.getfixturevalue("context")
+    generator = PopulationCandidateGenerator(context.splits.train, k_tables=15)
+    return context, generator
+
+
+def test_instances_split_seed_and_targets(population):
+    context, _ = population
+    instances = build_population_instances(context.splits.train, n_seed=1,
+                                           min_subject_entities=3)
+    assert instances
+    for instance in instances[:20]:
+        assert len(instance.seed_entities) == 1
+        assert instance.seed_entities[0] not in instance.target_entities
+        assert instance.target_entities
+
+
+def test_instances_zero_seed(population):
+    context, _ = population
+    instances = build_population_instances(context.splits.train, n_seed=0,
+                                           min_subject_entities=3)
+    for instance in instances[:20]:
+        assert instance.seed_entities == []
+        assert len(instance.target_entities) > 3
+
+
+def test_partial_table_contains_only_seeds(population):
+    context, _ = population
+    instances = build_population_instances(context.splits.train, n_seed=1,
+                                           min_subject_entities=3)
+    instance = instances[0]
+    partial = partial_table(instance)
+    assert partial.n_columns == 1
+    assert [c.entity_id for c in partial.columns[0].cells] == instance.seed_entities
+    assert partial.caption_text() == instance.caption
+
+
+def test_candidate_generator_excludes_seeds(population):
+    context, generator = population
+    instances = build_population_instances(context.splits.train, n_seed=1,
+                                           min_subject_entities=3)
+    instance = instances[0]
+    candidates = generator.candidates_for(instance)
+    assert instance.seed_entities[0] not in candidates
+    assert len(candidates) == len(set(candidates))
+
+
+def test_candidate_recall_bounded(population):
+    context, generator = population
+    instances = build_population_instances(context.splits.test, n_seed=0,
+                                           min_subject_entities=5)
+    recall = generator.recall(instances)
+    assert 0.0 <= recall <= 1.0
+
+
+def test_entitables_seed_vs_caption_modes(population):
+    context, generator = population
+    populator = EntiTablesRowPopulator(context.splits.train)
+    for n_seed in (0, 1):
+        instances = build_population_instances(context.splits.test, n_seed=n_seed,
+                                               min_subject_entities=5)
+        if not instances:
+            continue
+        value = populator.evaluate_map(instances[:10], generator)
+        assert 0.0 <= value <= 1.0
+
+
+def test_table2vec_requires_seeds(population):
+    context, generator = population
+    populator = Table2VecRowPopulator(
+        train_entity_embeddings(context.splits.train, epochs=1))
+    no_seed = build_population_instances(context.splits.test, n_seed=0,
+                                         min_subject_entities=5)
+    assert populator.evaluate_map(no_seed[:5], generator) is None
+    one_seed = build_population_instances(context.splits.test, n_seed=1,
+                                          min_subject_entities=5)
+    if one_seed:
+        value = populator.evaluate_map(one_seed[:5], generator)
+        assert value is not None and 0.0 <= value <= 1.0
+
+
+def test_turl_populator_ranks_all_candidates(population):
+    context, generator = population
+    instances = build_population_instances(context.splits.train, n_seed=1,
+                                           min_subject_entities=3)
+    populator = TURLRowPopulator(context.clone_model(), context.linearizer)
+    losses = populator.finetune(instances[:30], generator, epochs=1)
+    assert losses
+    candidates = generator.candidates_for(instances[0])
+    ranked = populator.rank(instances[0], candidates)
+    assert sorted(ranked) == sorted(candidates)
+    assert populator.rank(instances[0], []) == []

