@@ -4,8 +4,9 @@ Usage::
 
     python -m repro.cli world --seed 1                   # generate + describe a world
     python -m repro.cli corpus --tables 300 --out c.jsonl
-    python -m repro.cli pretrain --tables 300 --epochs 8 --out ckpt/
+    python -m repro.cli pretrain --tables 300 --epochs 8 --out ckpt/ --journal run.jsonl
     python -m repro.cli probe --checkpoint ckpt/ --tables 300
+    python -m repro.cli report --journal run.jsonl       # loss / timing summary
     python -m repro.cli registry                         # experiment index
 """
 
@@ -59,16 +60,33 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     from repro.core.pretrain import save_checkpoint
     from repro.data.synthesis import SynthesisConfig
     from repro.kb.generator import WorldConfig
+    from repro.obs import RunJournal
 
-    context = build_context(
-        WorldConfig(seed=args.seed).scaled(args.scale),
-        SynthesisConfig(seed=args.seed + 1, n_tables=args.tables),
-        TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed)
+    journal = None
+    if args.journal:
+        try:
+            journal = RunJournal(args.journal)
+        except OSError as error:
+            print(f"cannot open journal {args.journal}: {error}")
+            return 1
+    try:
+        context = build_context(
+            WorldConfig(seed=args.seed).scaled(args.scale),
+            SynthesisConfig(seed=args.seed + 1, n_tables=args.tables),
+            TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed,
+            journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     stats = context.pretrain_stats
     print(f"steps: {len(stats.losses)}  final loss: {stats.losses[-1]:.3f}")
+    print(f"wall: {stats.wall_seconds:.2f}s  "
+          f"throughput: {stats.throughput:.2f} steps/s")
     save_checkpoint(args.out, context.model, context.tokenizer,
                     context.entity_vocab)
     print(f"checkpoint written to {args.out}")
+    if journal is not None:
+        print(f"journal written to {args.journal}")
     return 0
 
 
@@ -91,6 +109,27 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     instances = [linearizer.encode(t) for t in splits.validation.tables[:args.max_tables]]
     accuracy = pretrainer.evaluate_object_prediction(instances)
     print(f"object-entity recovery accuracy: {accuracy:.3f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import format_journal_summary, read_journal, summarize_journal
+
+    try:
+        events = read_journal(args.journal)
+    except OSError as error:
+        print(f"cannot read journal {args.journal}: {error}")
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"journal {args.journal} is not valid JSONL: {error}")
+        return 1
+    if not events:
+        print(f"journal {args.journal} is empty")
+        return 1
+    print(f"journal  : {args.journal}  ({len(events)} events)")
+    print(format_journal_summary(summarize_journal(events)))
     return 0
 
 
@@ -125,6 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--tables", type=int, default=300)
     pretrain.add_argument("--epochs", type=int, default=8)
     pretrain.add_argument("--out", required=True)
+    pretrain.add_argument("--journal", default=None,
+                          help="write a JSONL run journal to this path")
     pretrain.set_defaults(handler=_cmd_pretrain)
 
     probe = commands.add_parser("probe", help="run the recovery probe")
@@ -134,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--tables", type=int, default=300)
     probe.add_argument("--max-tables", type=int, default=25)
     probe.set_defaults(handler=_cmd_probe)
+
+    report = commands.add_parser("report", help="summarize a run journal")
+    report.add_argument("--journal", required=True)
+    report.set_defaults(handler=_cmd_report)
 
     registry = commands.add_parser("registry", help="print the experiment index")
     registry.set_defaults(handler=_cmd_registry)

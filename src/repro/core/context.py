@@ -25,6 +25,7 @@ from repro.data.preprocessing import filter_relational, partition_corpus
 from repro.data.synthesis import SynthesisConfig, build_corpus
 from repro.kb.generator import WorldConfig, generate_world
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import RunJournal
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import EntityVocabulary
 
@@ -67,10 +68,13 @@ def build_context(world_config: WorldConfig = WorldConfig(),
                   pretrain_epochs: int = 3,
                   vocab_size: int = 4000,
                   entity_min_frequency: int = 2,
-                  seed: int = 0) -> TURLContext:
+                  seed: int = 0,
+                  journal: Optional[RunJournal] = None) -> TURLContext:
     """Build the full pipeline: world → corpus → vocabularies → pre-training.
 
     Set ``pretrain_epochs=0`` to skip pre-training (random initialization).
+    ``journal`` (a :class:`repro.obs.RunJournal`) records one JSONL event
+    per pre-training step; it never alters the seeded result.
     """
     kb = generate_world(world_config)
     corpus = filter_relational(build_corpus(kb, synthesis_config))
@@ -90,8 +94,16 @@ def build_context(world_config: WorldConfig = WorldConfig(),
     if pretrain_epochs > 0:
         instances = [linearizer.encode(table) for table in splits.train]
         pretrainer = Pretrainer(model, instances, candidate_builder,
-                                model_config, seed=seed)
-        stats = pretrainer.train(n_epochs=pretrain_epochs)
+                                model_config, seed=seed, journal=journal)
+        # With a journal attached, finish with the recovery probe so the
+        # journal carries a probe event; the probe runs under no_grad with
+        # its own fixed rng, so the trained weights are unaffected.
+        eval_instances = None
+        if journal is not None:
+            eval_instances = [linearizer.encode(table)
+                              for table in splits.validation]
+        stats = pretrainer.train(n_epochs=pretrain_epochs,
+                                 eval_instances=eval_instances)
 
     return TURLContext(
         kb=kb,

@@ -20,6 +20,7 @@ import numpy as np
 from repro.config import TURLConfig
 from repro.core.embedding import TableEmbedding
 from repro.nn import Linear, Module, Tensor, TransformerEncoder
+from repro.obs import trace
 
 
 class TURLModel(Module):
@@ -48,9 +49,11 @@ class TURLModel(Module):
         ``use_visibility=False`` drops the structure mask (the Figure 7a
         ablation): every element attends to every other element.
         """
-        hidden = self.embedding(batch)
+        with trace("model/encode/embedding"):
+            hidden = self.embedding(batch)
         visibility = batch["visibility"] if use_visibility else None
-        encoded = self.encoder(hidden, visibility)
+        with trace("model/encode/encoder"):
+            encoded = self.encoder(hidden, visibility)
         n_tokens = batch["token_ids"].shape[1]
         token_hidden = encoded[:, :n_tokens]
         entity_hidden = encoded[:, n_tokens:]

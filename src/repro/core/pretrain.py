@@ -10,6 +10,7 @@ report top-1 accuracy.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -23,6 +24,7 @@ from repro.core.masking import IGNORE, MaskingPolicy
 from repro.core.model import TURLModel
 from repro.nn import Adam, LinearDecaySchedule, clip_grad_norm, masked_cross_entropy
 from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.obs import RunJournal, get_registry, trace
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import MASK_ID, SPECIAL_TOKENS, Vocabulary
 
@@ -31,17 +33,24 @@ _FIRST_REAL_ID = len(SPECIAL_TOKENS)
 
 @dataclass
 class PretrainStats:
-    """Training history: per-step losses and periodic probe accuracies."""
+    """Training history: per-step losses, probe accuracies and throughput."""
 
     losses: List[float] = field(default_factory=list)
     mlm_losses: List[float] = field(default_factory=list)
     mer_losses: List[float] = field(default_factory=list)
     eval_steps: List[int] = field(default_factory=list)
     eval_accuracies: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    steps: int = 0
 
     @property
     def final_accuracy(self) -> Optional[float]:
         return self.eval_accuracies[-1] if self.eval_accuracies else None
+
+    @property
+    def throughput(self) -> float:
+        """Optimization steps per wall-clock second."""
+        return self.steps / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
 class Pretrainer:
@@ -50,16 +59,19 @@ class Pretrainer:
     def __init__(self, model: TURLModel, instances: Sequence[TableInstance],
                  candidate_builder: CandidateBuilder,
                  config: Optional[TURLConfig] = None, seed: int = 0,
-                 use_visibility: bool = True):
+                 use_visibility: bool = True,
+                 journal: Optional[RunJournal] = None):
         self.model = model
         self.instances = list(instances)
         self.candidates = candidate_builder
         self.config = config if config is not None else model.config
         self.masking = MaskingPolicy(self.config, model.vocab_size,
                                      model.entity_vocab_size)
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.use_visibility = use_visibility
         self.optimizer: Optional[Adam] = None
+        self.journal = journal
 
     def _ensure_optimizer(self, total_steps: int) -> None:
         if self.optimizer is None:
@@ -73,37 +85,63 @@ class Pretrainer:
 
     # -- one optimization step -------------------------------------------
     def step(self, batch: Dict[str, np.ndarray]) -> Dict[str, float]:
-        """Mask, forward, compute the joint loss, and update parameters."""
-        masked = self.masking.apply(batch, self.rng)
-        token_hidden, entity_hidden = self.model.encode(
-            masked.batch, use_visibility=self.use_visibility)
+        """Mask, forward, compute the joint loss, and update parameters.
 
-        losses: Dict[str, float] = {"mlm": 0.0, "mer": 0.0}
-        total = None
-        if masked.n_mlm:
-            mlm_logits = self.model.mlm_logits(token_hidden)
-            mlm_loss = masked_cross_entropy(
-                mlm_logits, np.maximum(masked.mlm_labels, 0),
-                masked.mlm_labels != IGNORE)
-            losses["mlm"] = mlm_loss.item()
-            total = mlm_loss
-        if masked.n_mer:
-            candidate_ids, remapped = self.candidates.build(
-                batch["entity_ids"], masked.mer_labels, self.rng)
-            mer_logits = self.model.mer_logits(entity_hidden, candidate_ids)
-            mer_loss = masked_cross_entropy(
-                mer_logits, np.maximum(remapped, 0), remapped != IGNORE)
-            losses["mer"] = mer_loss.item()
-            total = mer_loss if total is None else total + mer_loss
-        if total is None:
-            return {"loss": 0.0, **losses}
+        Besides the losses, the result carries per-phase wall seconds
+        (``forward_seconds`` / ``backward_seconds`` / ``optimizer_seconds``),
+        the pre-clip gradient norm and the learning rate applied this step.
+        """
+        with trace("pretrain/step"):
+            masked = self.masking.apply(batch, self.rng)
+            phase_start = time.perf_counter()
+            with trace("pretrain/step/forward"):
+                token_hidden, entity_hidden = self.model.encode(
+                    masked.batch, use_visibility=self.use_visibility)
 
-        self.model.zero_grad()
-        total.backward()
-        clip_grad_norm(self.model.parameters(), self.config.gradient_clip)
-        self.optimizer.step()
-        losses["loss"] = total.item()
-        return losses
+                losses: Dict[str, float] = {"mlm": 0.0, "mer": 0.0}
+                total = None
+                if masked.n_mlm:
+                    mlm_logits = self.model.mlm_logits(token_hidden)
+                    mlm_loss = masked_cross_entropy(
+                        mlm_logits, np.maximum(masked.mlm_labels, 0),
+                        masked.mlm_labels != IGNORE)
+                    losses["mlm"] = mlm_loss.item()
+                    total = mlm_loss
+                if masked.n_mer:
+                    candidate_ids, remapped = self.candidates.build(
+                        batch["entity_ids"], masked.mer_labels, self.rng)
+                    mer_logits = self.model.mer_logits(entity_hidden, candidate_ids)
+                    mer_loss = masked_cross_entropy(
+                        mer_logits, np.maximum(remapped, 0), remapped != IGNORE)
+                    losses["mer"] = mer_loss.item()
+                    total = mer_loss if total is None else total + mer_loss
+            timings = {"forward_seconds": time.perf_counter() - phase_start,
+                       "backward_seconds": 0.0, "optimizer_seconds": 0.0}
+            if total is None:
+                return {"loss": 0.0, **losses, **timings,
+                        "grad_norm": 0.0, "lr": 0.0}
+
+            self.model.zero_grad()
+            phase_start = time.perf_counter()
+            with trace("pretrain/step/backward"):
+                total.backward()
+                grad_norm = clip_grad_norm(self.model.parameters(),
+                                           self.config.gradient_clip)
+            timings["backward_seconds"] = time.perf_counter() - phase_start
+            lr = self.optimizer.schedule(self.optimizer.step_count)
+            phase_start = time.perf_counter()
+            with trace("pretrain/step/optimizer"):
+                self.optimizer.step()
+            timings["optimizer_seconds"] = time.perf_counter() - phase_start
+            losses["loss"] = total.item()
+
+            registry = get_registry()
+            registry.counter("pretrain.steps").inc()
+            registry.histogram("pretrain.loss").observe(losses["loss"])
+            registry.histogram("pretrain.grad_norm").observe(grad_norm)
+            for phase, seconds in timings.items():
+                registry.timer(f"pretrain.{phase[:-len('_seconds')]}").observe(seconds)
+            return {**losses, **timings, "grad_norm": grad_norm, "lr": lr}
 
     # -- training loop ----------------------------------------------------
     def train(self, n_epochs: int = 1,
@@ -114,32 +152,68 @@ class Pretrainer:
 
         When ``eval_instances`` is provided the object-entity-prediction
         probe runs every ``eval_every`` steps (and once at the end).
+
+        When the pretrainer was built with a :class:`~repro.obs.RunJournal`,
+        one header event plus one event per step / probe is appended.
         """
         stats = PretrainStats()
         steps_per_epoch = max(1, int(np.ceil(len(self.instances) / self.config.batch_size)))
         self._ensure_optimizer(steps_per_epoch * n_epochs)
+        if self.journal is not None:
+            self.journal.header(config=self.config.to_dict(), seed=self.seed,
+                                n_instances=len(self.instances),
+                                n_epochs=n_epochs)
         self.model.train()
         step_index = 0
-        for _ in range(n_epochs):
-            for batch in batches_of(self.instances, self.config.batch_size, self.rng):
-                result = self.step(batch)
-                stats.losses.append(result["loss"])
-                stats.mlm_losses.append(result["mlm"])
-                stats.mer_losses.append(result["mer"])
-                step_index += 1
-                if (eval_instances is not None and eval_every
-                        and step_index % eval_every == 0):
-                    accuracy = self.evaluate_object_prediction(
-                        eval_instances, max_tables=max_eval_tables)
-                    stats.eval_steps.append(step_index)
-                    stats.eval_accuracies.append(accuracy)
-                    self.model.train()
+        train_start = time.perf_counter()
+        with trace("pretrain/train"):
+            for _ in range(n_epochs):
+                for batch in batches_of(self.instances, self.config.batch_size,
+                                        self.rng):
+                    step_start = time.perf_counter()
+                    result = self.step(batch)
+                    step_seconds = time.perf_counter() - step_start
+                    stats.losses.append(result["loss"])
+                    stats.mlm_losses.append(result["mlm"])
+                    stats.mer_losses.append(result["mer"])
+                    step_index += 1
+                    if self.journal is not None:
+                        tokens = int(batch["token_mask"].sum()
+                                     + batch["entity_mask"].sum())
+                        self.journal.step(
+                            step_index,
+                            loss=result["loss"], mlm=result["mlm"],
+                            mer=result["mer"], lr=result["lr"],
+                            grad_norm=result["grad_norm"], tokens=tokens,
+                            seconds=step_seconds,
+                            tokens_per_second=(tokens / step_seconds
+                                               if step_seconds > 0 else 0.0),
+                            forward_seconds=result["forward_seconds"],
+                            backward_seconds=result["backward_seconds"],
+                            optimizer_seconds=result["optimizer_seconds"])
+                    if (eval_instances is not None and eval_every
+                            and step_index % eval_every == 0):
+                        self._run_probe(stats, step_index, eval_instances,
+                                        max_eval_tables)
         if eval_instances is not None:
-            accuracy = self.evaluate_object_prediction(
-                eval_instances, max_tables=max_eval_tables)
-            stats.eval_steps.append(step_index)
-            stats.eval_accuracies.append(accuracy)
+            self._run_probe(stats, step_index, eval_instances, max_eval_tables)
+        stats.steps = step_index
+        stats.wall_seconds = time.perf_counter() - train_start
+        get_registry().gauge("pretrain.throughput").set(stats.throughput)
         return stats
+
+    def _run_probe(self, stats: PretrainStats, step_index: int,
+                   eval_instances: Sequence[TableInstance],
+                   max_eval_tables: int) -> None:
+        """One journaled evaluation probe; model mode is restored inside."""
+        probe_start = time.perf_counter()
+        accuracy = self.evaluate_object_prediction(
+            eval_instances, max_tables=max_eval_tables)
+        stats.eval_steps.append(step_index)
+        stats.eval_accuracies.append(accuracy)
+        if self.journal is not None:
+            self.journal.probe(step_index, accuracy,
+                               seconds=time.perf_counter() - probe_start)
 
     # -- Figure 7 probe ------------------------------------------------------
     def evaluate_object_prediction(self, instances: Sequence[TableInstance],
@@ -149,9 +223,22 @@ class Pretrainer:
 
         For each table, up to ``max_cells_per_table`` object entity cells are
         masked (entity and mention) one at a time, and the model ranks the
-        MER candidate set; a hit means the true entity ranks first.
+        MER candidate set; a hit means the true entity ranks first.  The
+        caller's train/eval mode is restored on exit.
         """
+        was_training = self.model.training
         self.model.eval()
+        try:
+            with trace("pretrain/probe"):
+                return self._object_prediction_accuracy(
+                    instances, max_tables, max_cells_per_table)
+        finally:
+            if was_training:
+                self.model.train()
+
+    def _object_prediction_accuracy(self, instances: Sequence[TableInstance],
+                                    max_tables: Optional[int],
+                                    max_cells_per_table: int) -> float:
         eval_rng = np.random.default_rng(12345)
         instances = list(instances)
         if max_tables is not None:

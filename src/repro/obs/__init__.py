@@ -1,0 +1,92 @@
+"""Observability: metrics, tracing spans, and the JSONL run journal.
+
+A dependency-free measurement layer for the training / inference stack:
+
+- :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram`` /
+  ``Timer`` instruments behind a process-global registry (a no-op
+  ``NullRegistry`` by default, so instrumented code is free when
+  observability is off);
+- :mod:`repro.obs.tracing` — nestable ``with trace("a/b/c"):`` spans that
+  aggregate per-path totals and render a tree report;
+- :mod:`repro.obs.journal` — a JSONL ``RunJournal`` (header + per-step +
+  probe events) replayable for convergence plots and ``repro.cli report``.
+
+Everything here reads only the monotonic / wall clock — never a random
+number generator — so seeded results are bit-identical with
+instrumentation on or off.
+
+Usage::
+
+    from repro import obs
+
+    registry = obs.enable_metrics()
+    tracer = obs.enable_tracing()
+    with obs.trace("pretrain/step/forward"):
+        ...
+    print(obs.format_metrics(registry))
+    print(tracer.report())
+"""
+
+from repro.obs.journal import (
+    EVENT_HEADER,
+    EVENT_PROBE,
+    EVENT_STEP,
+    JournalSummary,
+    PhaseTiming,
+    RunJournal,
+    format_journal_summary,
+    read_journal,
+    summarize_journal,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    disable_metrics,
+    enable_metrics,
+    format_metrics,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    SpanStats,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "format_metrics",
+    "SpanStats",
+    "Tracer",
+    "trace",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "RunJournal",
+    "read_journal",
+    "summarize_journal",
+    "format_journal_summary",
+    "JournalSummary",
+    "PhaseTiming",
+    "EVENT_HEADER",
+    "EVENT_STEP",
+    "EVENT_PROBE",
+]

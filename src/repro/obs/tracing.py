@@ -1,0 +1,146 @@
+"""Hierarchical tracing spans.
+
+``with trace("pretrain/step/forward"):`` times a region on the monotonic
+clock.  Spans nest: a span opened inside another becomes its child, and
+the tracer aggregates ``(count, total seconds)`` per *path* — the tuple of
+labels on the span stack — so the same label under different parents is
+kept distinct.  :meth:`Tracer.report` renders the aggregate as an indented
+tree; :meth:`Tracer.totals` collapses paths back to per-label totals.
+
+Tracing is off by default: :func:`trace` then returns a shared no-op
+context manager, a single global check with no allocation.  Like the
+metrics registry, tracing never touches any random-number generator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import NULL_CONTEXT
+
+
+@dataclass
+class SpanStats:
+    """Aggregate for one span path: entry count and total wall seconds."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class _Span:
+    """Context manager pushing one label onto the tracer's span stack."""
+
+    __slots__ = ("_tracer", "_label", "_start")
+
+    def __init__(self, tracer: "Tracer", label: str):
+        self._tracer = tracer
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self._label)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        tracer = self._tracer
+        path = tuple(tracer._stack)
+        tracer._stack.pop()
+        stats = tracer._aggregate.get(path)
+        if stats is None:
+            stats = SpanStats()
+            tracer._aggregate[path] = stats
+        stats.count += 1
+        stats.total_seconds += elapsed
+        return False
+
+
+class Tracer:
+    """Collects nested span timings, keyed by the full label path."""
+
+    def __init__(self):
+        self._stack: List[str] = []
+        self._aggregate: Dict[Tuple[str, ...], SpanStats] = {}
+
+    def span(self, label: str) -> _Span:
+        return _Span(self, label)
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def paths(self) -> Dict[Tuple[str, ...], SpanStats]:
+        """The raw aggregate, keyed by span-stack path."""
+        return dict(self._aggregate)
+
+    def stats(self, label: str) -> Optional[SpanStats]:
+        """Combined stats for ``label`` regardless of where it nested."""
+        return self.totals().get(label)
+
+    def totals(self) -> Dict[str, SpanStats]:
+        """Per-label totals/counts, summed across every parent path."""
+        merged: Dict[str, SpanStats] = {}
+        for path, stats in self._aggregate.items():
+            label = path[-1]
+            into = merged.setdefault(label, SpanStats())
+            into.count += stats.count
+            into.total_seconds += stats.total_seconds
+        return merged
+
+    def report(self, name_width: int = 40) -> str:
+        """Indented tree of span paths with count/total/mean columns."""
+        lines = [f"{'Span':{name_width}s}{'Count':>8s}"
+                 f"{'Total s':>12s}{'Mean s':>12s}"]
+        for path in sorted(self._aggregate):
+            stats = self._aggregate[path]
+            label = "  " * (len(path) - 1) + path[-1]
+            lines.append(f"{label:{name_width}s}{stats.count:8d}"
+                         f"{stats.total_seconds:12.4f}{stats.mean_seconds:12.4f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._aggregate.clear()
+
+
+_tracer: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` when tracing is disabled."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` globally (``None`` disables); returns the previous."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh global tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Turn tracing back into a no-op."""
+    set_tracer(None)
+
+
+def trace(label: str):
+    """Span context manager on the global tracer; no-op when disabled."""
+    if _tracer is None:
+        return NULL_CONTEXT
+    return _tracer.span(label)

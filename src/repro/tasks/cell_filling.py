@@ -25,6 +25,7 @@ from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Column, EntityCell, Table
 from repro.nn import no_grad
+from repro.obs import get_registry, trace
 from repro.tasks.metrics import precision_at_k
 from repro.tasks.schema_augmentation import normalize_header
 from repro.text.vocab import MASK_ID
@@ -212,7 +213,8 @@ class TURLCellFiller:
         vocab_ids = np.asarray(
             [self.linearizer.entity_vocab.id_of(c) for c in candidates],
             dtype=np.int64)
-        with no_grad():
+        get_registry().counter("task.cell_filling.rankings").inc()
+        with trace("task/cell_filling/rank"), no_grad():
             _, entity_hidden = self.model.encode(batch)
             logits = self.model.mer_logits(entity_hidden, vocab_ids).data
         scores = logits[0, object_position]

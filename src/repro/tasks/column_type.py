@@ -21,6 +21,7 @@ from repro.data.corpus import TableCorpus
 from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.nn import Adam, Linear, Module, Tensor, binary_cross_entropy_logits, no_grad, stack
+from repro.obs import get_registry, trace
 from repro.tasks.encoding import (
     InputAblation,
     apply_ablation_to_batch,
@@ -160,22 +161,26 @@ class TURLColumnTypeAnnotator(Module):
             by_table.setdefault(instance.table.table_id, []).append(instance)
 
         self.model.train()
+        registry = get_registry()
         epoch_losses = []
         table_ids = sorted(by_table)
-        for _ in range(epochs):
-            order = rng.permutation(len(table_ids))
-            losses = []
-            for table_index in order:
-                group = by_table[table_ids[int(table_index)]]
-                cols = [g.col for g in group]
-                labels = np.stack([dataset.label_vector(g) for g in group])
-                logits = self.column_logits(group[0].table, cols)
-                loss = binary_cross_entropy_logits(logits, labels)
-                self.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-            epoch_losses.append(float(np.mean(losses)))
+        with trace("task/column_type/finetune"):
+            for _ in range(epochs):
+                order = rng.permutation(len(table_ids))
+                losses = []
+                for table_index in order:
+                    group = by_table[table_ids[int(table_index)]]
+                    cols = [g.col for g in group]
+                    labels = np.stack([dataset.label_vector(g) for g in group])
+                    logits = self.column_logits(group[0].table, cols)
+                    loss = binary_cross_entropy_logits(logits, labels)
+                    self.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    losses.append(loss.item())
+                    registry.counter("task.column_type.finetune_steps").inc()
+                epoch_losses.append(float(np.mean(losses)))
+                registry.histogram("task.column_type.epoch_loss").observe(epoch_losses[-1])
         return epoch_losses
 
     # -- inference -----------------------------------------------------------
@@ -186,8 +191,9 @@ class TURLColumnTypeAnnotator(Module):
         by_table: Dict[str, List[Tuple[int, ColumnInstance]]] = {}
         for i, instance in enumerate(instances):
             by_table.setdefault(instance.table.table_id, []).append((i, instance))
+        get_registry().counter("task.column_type.predictions").inc(len(instances))
         results: Dict[int, Set[str]] = {}
-        with no_grad():
+        with trace("task/column_type/predict"), no_grad():
             for group in by_table.values():
                 cols = [inst.col for _, inst in group]
                 logits = self.column_logits(group[0][1].table, cols).data

@@ -40,6 +40,7 @@ from repro.nn import (
     no_grad,
     stack,
 )
+from repro.obs import get_registry, trace
 from repro.tasks.metrics import PrecisionRecallF1
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import MASK_ID, PAD_ID
@@ -244,34 +245,38 @@ class TURLEntityLinker(Module):
                 by_table.setdefault(instance.table.table_id, []).append(instance)
         table_ids = sorted(by_table)
         self.model.train()
+        registry = get_registry()
         epoch_losses = []
-        for _ in range(epochs):
-            order = rng.permutation(len(table_ids))
-            losses = []
-            for index in order:
-                group = by_table[table_ids[int(index)]]
-                entity_hidden, coordinates = self._cell_hidden(group[0].table)
-                position_of = {coord: i for i, coord in enumerate(coordinates)}
-                total = None
-                for instance in group:
-                    position = position_of.get((instance.row, instance.col))
-                    if position is None:
+        with trace("task/entity_linking/finetune"):
+            for _ in range(epochs):
+                order = rng.permutation(len(table_ids))
+                losses = []
+                for index in order:
+                    group = by_table[table_ids[int(index)]]
+                    entity_hidden, coordinates = self._cell_hidden(group[0].table)
+                    position_of = {coord: i for i, coord in enumerate(coordinates)}
+                    total = None
+                    for instance in group:
+                        position = position_of.get((instance.row, instance.col))
+                        if position is None:
+                            continue
+                        logits = self._score_cell(entity_hidden[position],
+                                                  instance.candidates,
+                                                  instance.candidate_scores).reshape(1, -1)
+                        target = np.asarray(
+                            [instance.candidates.index(instance.true_id)])
+                        loss = cross_entropy_logits(logits, target)
+                        total = loss if total is None else total + loss
+                    if total is None:
                         continue
-                    logits = self._score_cell(entity_hidden[position],
-                                              instance.candidates,
-                                              instance.candidate_scores).reshape(1, -1)
-                    target = np.asarray(
-                        [instance.candidates.index(instance.true_id)])
-                    loss = cross_entropy_logits(logits, target)
-                    total = loss if total is None else total + loss
-                if total is None:
-                    continue
-                total = total * (1.0 / len(group))
-                self.zero_grad()
-                total.backward()
-                optimizer.step()
-                losses.append(total.item())
-            epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+                    total = total * (1.0 / len(group))
+                    self.zero_grad()
+                    total.backward()
+                    optimizer.step()
+                    losses.append(total.item())
+                    registry.counter("task.entity_linking.finetune_steps").inc()
+                epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+                registry.histogram("task.entity_linking.epoch_loss").observe(epoch_losses[-1])
         return epoch_losses
 
     # -- inference -----------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.data.corpus import TableCorpus
 from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.nn import Adam, Linear, Module, Tensor, binary_cross_entropy_logits, no_grad, stack
+from repro.obs import get_registry, trace
 from repro.tasks.encoding import (
     InputAblation,
     apply_ablation_to_batch,
@@ -169,23 +170,27 @@ class TURLRelationExtractor(Module):
         history: Dict[str, List[float]] = {"losses": [], "map_steps": [], "map_values": []}
         step = 0
         self.model.train()
-        for _ in range(epochs):
-            order = rng.permutation(len(instances))
-            for index in order:
-                instance = instances[int(index)]
-                logits = self.pair_logits(instance).reshape(1, -1)
-                labels = dataset.label_vector(instance).reshape(1, -1)
-                loss = binary_cross_entropy_logits(logits, labels)
-                self.zero_grad()
-                loss.backward()
-                optimizer.step()
-                history["losses"].append(loss.item())
-                step += 1
-                if map_every and step % map_every == 0:
-                    history["map_steps"].append(step)
-                    history["map_values"].append(
-                        self.validation_map(dataset, max_instances=map_instances))
-                    self.model.train()
+        registry = get_registry()
+        with trace("task/relation_extraction/finetune"):
+            for _ in range(epochs):
+                order = rng.permutation(len(instances))
+                for index in order:
+                    instance = instances[int(index)]
+                    logits = self.pair_logits(instance).reshape(1, -1)
+                    labels = dataset.label_vector(instance).reshape(1, -1)
+                    loss = binary_cross_entropy_logits(logits, labels)
+                    self.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    history["losses"].append(loss.item())
+                    registry.counter("task.relation_extraction.finetune_steps").inc()
+                    registry.histogram("task.relation_extraction.loss").observe(loss.item())
+                    step += 1
+                    if map_every and step % map_every == 0:
+                        history["map_steps"].append(step)
+                        history["map_values"].append(
+                            self.validation_map(dataset, max_instances=map_instances))
+                        self.model.train()
         return history
 
     # -- inference -----------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Column, EntityCell, Table
 from repro.nn import Adam, Module, Parameter, Tensor, binary_cross_entropy_logits, no_grad
+from repro.obs import get_registry, trace
 from repro.retrieval.bm25 import BM25Index
 from repro.tasks.metrics import mean_average_precision, recall_at_k
 from repro.text.vocab import SPECIAL_TOKENS
@@ -180,27 +181,31 @@ class TURLRowPopulator(Module):
             instances = [instances[int(i)] for i in chosen]
 
         self.model.train()
+        registry = get_registry()
         epoch_losses = []
-        for _ in range(epochs):
-            order = rng.permutation(len(instances))
-            losses = []
-            for index in order:
-                instance = instances[int(index)]
-                candidates = generator.candidates_for(instance)[:max_candidates]
-                if not candidates:
-                    continue
-                labels = np.asarray(
-                    [1.0 if c in instance.target_entities else 0.0
-                     for c in candidates])
-                if labels.sum() == 0:
-                    continue
-                logits = self._candidate_logits(instance, candidates)
-                loss = binary_cross_entropy_logits(logits, labels)
-                self.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-            epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+        with trace("task/row_population/finetune"):
+            for _ in range(epochs):
+                order = rng.permutation(len(instances))
+                losses = []
+                for index in order:
+                    instance = instances[int(index)]
+                    candidates = generator.candidates_for(instance)[:max_candidates]
+                    if not candidates:
+                        continue
+                    labels = np.asarray(
+                        [1.0 if c in instance.target_entities else 0.0
+                         for c in candidates])
+                    if labels.sum() == 0:
+                        continue
+                    logits = self._candidate_logits(instance, candidates)
+                    loss = binary_cross_entropy_logits(logits, labels)
+                    self.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    losses.append(loss.item())
+                    registry.counter("task.row_population.finetune_steps").inc()
+                epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+                registry.histogram("task.row_population.epoch_loss").observe(epoch_losses[-1])
         return epoch_losses
 
     def rank(self, instance: PopulationInstance,

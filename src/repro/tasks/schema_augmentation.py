@@ -22,6 +22,7 @@ from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Column, Table
 from repro.nn import Adam, Module, Parameter, Tensor, binary_cross_entropy_logits, no_grad
+from repro.obs import get_registry, trace
 from repro.tasks.metrics import average_precision, mean_average_precision
 
 _WS = re.compile(r"\s+")
@@ -128,26 +129,30 @@ class TURLSchemaAugmenter(Module):
             instances = [instances[int(i)] for i in chosen]
 
         self.model.train()
+        registry = get_registry()
         epoch_losses = []
-        for _ in range(epochs):
-            order = rng.permutation(len(instances))
-            losses = []
-            for index in order:
-                instance = instances[int(index)]
-                labels = np.zeros(len(self.header_vocabulary))
-                for header in instance.target_headers:
-                    position = self.header_index.get(header)
-                    if position is not None:
-                        labels[position] = 1.0
-                if labels.sum() == 0:
-                    continue
-                logits = self.header_logits(instance)
-                loss = binary_cross_entropy_logits(logits, labels)
-                self.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-            epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+        with trace("task/schema_augmentation/finetune"):
+            for _ in range(epochs):
+                order = rng.permutation(len(instances))
+                losses = []
+                for index in order:
+                    instance = instances[int(index)]
+                    labels = np.zeros(len(self.header_vocabulary))
+                    for header in instance.target_headers:
+                        position = self.header_index.get(header)
+                        if position is not None:
+                            labels[position] = 1.0
+                    if labels.sum() == 0:
+                        continue
+                    logits = self.header_logits(instance)
+                    loss = binary_cross_entropy_logits(logits, labels)
+                    self.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    losses.append(loss.item())
+                    registry.counter("task.schema_augmentation.finetune_steps").inc()
+                epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+                registry.histogram("task.schema_augmentation.epoch_loss").observe(epoch_losses[-1])
         return epoch_losses
 
     def rank(self, instance: SchemaInstance) -> List[str]:

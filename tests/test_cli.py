@@ -44,3 +44,33 @@ def test_pretrain_and_probe_commands(capsys, tmp_path):
                  "--tables", "40", "--max-tables", "5"]) == 0
     captured = capsys.readouterr().out
     assert "recovery accuracy" in captured
+    assert "throughput" in captured
+
+
+def test_pretrain_journal_and_report_commands(capsys, tmp_path):
+    from repro.obs import read_journal
+
+    checkpoint = str(tmp_path / "ckpt")
+    journal = str(tmp_path / "run.jsonl")
+    assert main(["pretrain", "--seed", "3", "--tables", "40", "--epochs", "1",
+                 "--out", checkpoint, "--journal", journal]) == 0
+    events = read_journal(journal)
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "header"
+    assert "step" in kinds
+    assert kinds[-1] == "probe"
+
+    assert main(["report", "--journal", journal]) == 0
+    captured = capsys.readouterr().out
+    assert "steps/s" in captured
+    assert "forward" in captured
+    assert "backward" in captured
+    assert "optimizer" in captured
+    assert "probe" in captured
+
+
+def test_report_empty_journal_fails(tmp_path, capsys):
+    journal = str(tmp_path / "empty.jsonl")
+    open(journal, "w").close()
+    assert main(["report", "--journal", journal]) == 1
+    assert "empty" in capsys.readouterr().out
