@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli world --seed 1                   # generate + describe a world
     python -m repro.cli corpus --tables 300 --out c.jsonl
     python -m repro.cli pretrain --tables 300 --epochs 8 --out ckpt/ --journal run.jsonl
+    python -m repro.cli finetune --task column_type --checkpoint ckpt/ --epochs 3
     python -m repro.cli probe --checkpoint ckpt/ --tables 300
     python -m repro.cli report --journal run.jsonl       # loss / timing summary
     python -m repro.cli registry                         # experiment index
@@ -90,6 +91,123 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     return 0
 
 
+FINETUNE_TASKS = ("column_type", "relation_extraction", "entity_linking",
+                  "row_population", "schema_augmentation")
+
+
+def _build_finetune_task(name: str, model, linearizer, kb, splits, seed: int):
+    """Build ``(task, evaluate)`` for one fine-tuning task name.
+
+    ``task`` is a :class:`repro.train.TrainableTask`; ``evaluate`` returns the
+    task's headline test metric as ``(metric_name, value)``.
+    """
+    if name == "column_type":
+        from repro.tasks.column_type import (TURLColumnTypeAnnotator,
+                                             build_column_type_dataset)
+
+        dataset = build_column_type_dataset(kb, splits.train, splits.validation,
+                                            splits.test, min_type_instances=5)
+        head = TURLColumnTypeAnnotator(model, linearizer,
+                                       len(dataset.type_names), seed=seed)
+        return (head.training_task(dataset),
+                lambda: ("test F1", head.evaluate(dataset.test, dataset).f1))
+    if name == "relation_extraction":
+        from repro.tasks.relation_extraction import (TURLRelationExtractor,
+                                                     build_relation_dataset)
+
+        dataset = build_relation_dataset(kb, splits.train, splits.validation,
+                                         splits.test, min_relation_instances=5)
+        head = TURLRelationExtractor(model, linearizer,
+                                     len(dataset.relation_names), seed=seed)
+        return (head.training_task(dataset),
+                lambda: ("test F1", head.evaluate(dataset.test, dataset).f1))
+    if name == "entity_linking":
+        from repro.kb.lookup import LookupService
+        from repro.kb.schema import all_types
+        from repro.tasks.entity_linking import (TURLEntityLinker,
+                                                build_linking_dataset)
+
+        lookup = LookupService(kb)
+        train = build_linking_dataset(splits.train, lookup, require_truth=True)
+        test = build_linking_dataset(splits.test, lookup)
+        head = TURLEntityLinker(model, linearizer, kb, all_types(), seed=seed)
+        return (head.training_task(train),
+                lambda: ("test F1", head.evaluate(test).f1))
+    if name == "row_population":
+        from repro.tasks.row_population import (PopulationCandidateGenerator,
+                                                TURLRowPopulator,
+                                                build_population_instances)
+
+        generator = PopulationCandidateGenerator(splits.train)
+        train = build_population_instances(splits.train, n_seed=1,
+                                           min_subject_entities=3)
+        test = build_population_instances(splits.test, n_seed=1,
+                                          min_subject_entities=3)
+        head = TURLRowPopulator(model, linearizer, seed=seed)
+        return (head.training_task(train, generator),
+                lambda: ("test MAP", head.evaluate_map(test, generator)))
+    if name == "schema_augmentation":
+        from repro.tasks.schema_augmentation import (TURLSchemaAugmenter,
+                                                     build_header_vocabulary,
+                                                     build_schema_instances)
+
+        vocabulary = build_header_vocabulary(splits.train, min_tables=2)
+        train = build_schema_instances(splits.train, vocabulary, n_seed=1)
+        test = build_schema_instances(splits.test, vocabulary, n_seed=1)
+        head = TURLSchemaAugmenter(model, linearizer, vocabulary, seed=seed)
+        return (head.training_task(train),
+                lambda: ("test MAP", head.evaluate_map(test)))
+    raise ValueError(f"unknown fine-tuning task {name!r}")
+
+
+def _cmd_finetune(args: argparse.Namespace) -> int:
+    from repro.core.linearize import Linearizer
+    from repro.core.pretrain import load_checkpoint
+    from repro.data.preprocessing import filter_relational, partition_corpus
+    from repro.data.synthesis import SynthesisConfig, build_corpus
+    from repro.kb.generator import WorldConfig, generate_world
+    from repro.obs import RunJournal
+    from repro.train import Trainer, TrainSpec
+
+    model, tokenizer, entity_vocab = load_checkpoint(args.checkpoint)
+    kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
+    corpus = filter_relational(build_corpus(
+        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+    splits = partition_corpus(corpus, seed=args.seed)
+    linearizer = Linearizer(tokenizer, entity_vocab, model.config)
+    task, evaluate = _build_finetune_task(args.task, model, linearizer, kb,
+                                          splits, args.seed)
+
+    # The paper's fine-tuning recipe: Adam + linear decay + gradient clipping.
+    spec = TrainSpec(epochs=args.epochs, learning_rate=args.learning_rate,
+                     schedule="linear", gradient_clip=model.config.gradient_clip,
+                     seed=args.seed, max_items=args.max_instances)
+    journal = None
+    if args.journal:
+        try:
+            journal = RunJournal(args.journal)
+        except OSError as error:
+            print(f"cannot open journal {args.journal}: {error}")
+            return 1
+    try:
+        trainer = Trainer(task, spec, journal=journal)
+        stats = trainer.fit()
+    finally:
+        if journal is not None:
+            journal.close()
+    print(f"task: {args.task}  steps: {stats.steps}")
+    for epoch, loss in enumerate(stats.epoch_losses, start=1):
+        print(f"epoch {epoch}: loss {loss:.4f}")
+    metric_name, value = evaluate()
+    print(f"{metric_name}: {value:.3f}")
+    if args.save_state:
+        trainer.save(args.save_state)
+        print(f"training state written to {args.save_state}")
+    if journal is not None:
+        print(f"journal written to {args.journal}")
+    return 0
+
+
 def _cmd_probe(args: argparse.Namespace) -> int:
     from repro.core.candidates import CandidateBuilder
     from repro.core.linearize import Linearizer
@@ -167,6 +285,24 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--journal", default=None,
                           help="write a JSONL run journal to this path")
     pretrain.set_defaults(handler=_cmd_pretrain)
+
+    finetune = commands.add_parser(
+        "finetune", help="fine-tune a pre-trained checkpoint on a task")
+    finetune.add_argument("--task", required=True, choices=FINETUNE_TASKS)
+    finetune.add_argument("--checkpoint", required=True,
+                          help="directory written by `pretrain --out`")
+    finetune.add_argument("--seed", type=int, default=1)
+    finetune.add_argument("--scale", type=float, default=1.0)
+    finetune.add_argument("--tables", type=int, default=300)
+    finetune.add_argument("--epochs", type=int, default=3)
+    finetune.add_argument("--learning-rate", type=float, default=1e-3)
+    finetune.add_argument("--max-instances", type=int, default=None,
+                          help="subsample the training set (whole tables)")
+    finetune.add_argument("--journal", default=None,
+                          help="write a JSONL run journal to this path")
+    finetune.add_argument("--save-state", default=None,
+                          help="write a resumable training checkpoint here")
+    finetune.set_defaults(handler=_cmd_finetune)
 
     probe = commands.add_parser("probe", help="run the recovery probe")
     probe.add_argument("--checkpoint", required=True)

@@ -8,7 +8,7 @@ pads from every loss.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,6 +88,36 @@ def collate(instances: Sequence[TableInstance]) -> Dict[str, np.ndarray]:
         "mention_ids": mention_ids,
         "visibility": visibility,
     }
+
+
+def group_by_table(items: Sequence[Any],
+                   table_of: Optional[Callable[[Any], Any]] = None
+                   ) -> Dict[str, List[Any]]:
+    """Group ``items`` by their table id, preserving insertion order.
+
+    ``table_of`` maps an item to its :class:`~repro.data.tables.Table`
+    (default: the item's ``table`` attribute).  Fine-tuning tasks train and
+    predict on per-table groups so each table is encoded exactly once per
+    step; this is the shared implementation of the ``by_table`` pattern used
+    across the task heads and the training engine.
+    """
+    if table_of is None:
+        table_of = lambda item: item.table
+    groups: Dict[str, List[Any]] = {}
+    for item in items:
+        groups.setdefault(table_of(item).table_id, []).append(item)
+    return groups
+
+
+def encode_table(linearizer, table, extra_entity_slots: int = 0
+                 ) -> Tuple[TableInstance, Dict[str, np.ndarray]]:
+    """Linearize one table and collate it into a batch of size one.
+
+    Returns ``(instance, batch)`` — the single-table encoding step shared by
+    every task head's training and prediction paths.
+    """
+    instance = linearizer.encode(table, extra_entity_slots=extra_entity_slots)
+    return instance, collate([instance])
 
 
 def batches_of(instances: List[TableInstance], batch_size: int,

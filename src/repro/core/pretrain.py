@@ -1,7 +1,12 @@
-"""Pre-training loop (paper Section 4.4) and the Figure 7 evaluation probe.
+"""Pre-training (paper Section 4.4) as a task on the shared engine.
 
 The joint loss is MLM + MER cross-entropy (Eqn. 7), optimized with Adam
-under a linearly decaying learning rate.  :meth:`Pretrainer.evaluate_object_prediction`
+under a linearly decaying learning rate.  Since PR 2 the loop itself lives
+in :mod:`repro.train` — :class:`Pretrainer` builds a
+:class:`~repro.train.TrainableTask` (:class:`PretrainObjective`) and drives
+the same :class:`~repro.train.Trainer` as every fine-tuning head, which is
+where optimizer construction, shuffling, clipping, stats, journaling and
+checkpointing now live.  :meth:`Pretrainer.evaluate_object_prediction`
 implements the ablation probe of Section 6.8: mask an object entity cell
 (both entity embedding and mention), recover it from a candidate set, and
 report top-1 accuracy.
@@ -10,23 +15,23 @@ report top-1 accuracy.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.config import TURLConfig
-from repro.core.batching import batches_of, collate
+from repro.core.batching import collate
 from repro.core.candidates import CandidateBuilder
-from repro.core.linearize import ETYPE_OBJECT, Linearizer, TableInstance
+from repro.core.linearize import ETYPE_OBJECT, TableInstance
 from repro.core.masking import IGNORE, MaskingPolicy
 from repro.core.model import TURLModel
-from repro.nn import Adam, LinearDecaySchedule, clip_grad_norm, masked_cross_entropy
+from repro.nn import eval_mode, masked_cross_entropy
 from repro.nn.serialization import load_state_dict, save_state_dict
-from repro.obs import RunJournal, get_registry, trace
+from repro.obs import RunJournal, trace
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import MASK_ID, SPECIAL_TOKENS, Vocabulary
+from repro.train import StepOutput, TrainableTask, Trainer, TrainSpec, build_optimizer
 
 _FIRST_REAL_ID = len(SPECIAL_TOKENS)
 
@@ -53,6 +58,46 @@ class PretrainStats:
         return self.steps / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
+class PretrainObjective(TrainableTask):
+    """MLM + MER as a :class:`TrainableTask` on the shared engine.
+
+    Items are :class:`TableInstance` objects; the engine's ``batch_size``
+    chunks them and :meth:`loss` collates each chunk (an already-collated
+    batch dictionary is also accepted, for direct :meth:`Pretrainer.step`
+    calls).
+    """
+
+    name = "pretrain"
+
+    def __init__(self, pretrainer: "Pretrainer",
+                 eval_instances: Optional[Sequence[TableInstance]] = None,
+                 max_eval_tables: int = 50):
+        self.pretrainer = pretrainer
+        self.module = pretrainer.model
+        self.eval_instances = eval_instances
+        self.max_eval_tables = max_eval_tables
+
+    def build_batches(self) -> Sequence[TableInstance]:
+        return list(self.pretrainer.instances)
+
+    def loss(self, batch: Union[Dict[str, np.ndarray], List[TableInstance],
+                                TableInstance],
+             rng: np.random.Generator) -> StepOutput:
+        if not isinstance(batch, dict):
+            chunk = batch if isinstance(batch, list) else [batch]
+            batch = collate(chunk)
+        return self.pretrainer.compute_loss(batch, rng)
+
+    def eval_metric(self) -> Optional[float]:
+        if self.eval_instances is None:
+            return None
+        return self.pretrainer.evaluate_object_prediction(
+            self.eval_instances, max_tables=self.max_eval_tables)
+
+    def config_dict(self) -> dict:
+        return self.pretrainer.config.to_dict()
+
+
 class Pretrainer:
     """Runs MLM + MER pre-training over linearized tables."""
 
@@ -70,85 +115,76 @@ class Pretrainer:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.use_visibility = use_visibility
-        self.optimizer: Optional[Adam] = None
+        self.optimizer = None
         self.journal = journal
+
+    def _spec(self, n_epochs: int = 1,
+              eval_every: Optional[int] = None) -> TrainSpec:
+        """The paper's pre-training recipe as an engine spec."""
+        return TrainSpec(epochs=n_epochs,
+                         learning_rate=self.config.learning_rate,
+                         weight_decay=self.config.weight_decay,
+                         schedule="linear", final_lr_fraction=0.1,
+                         gradient_clip=self.config.gradient_clip,
+                         batch_size=self.config.batch_size,
+                         seed=self.seed, eval_every=eval_every,
+                         eval_at_end=True)
 
     def _ensure_optimizer(self, total_steps: int) -> None:
         if self.optimizer is None:
-            schedule = LinearDecaySchedule(self.config.learning_rate,
-                                           total_steps=max(1, total_steps),
-                                           final_fraction=0.1)
-            self.optimizer = Adam(self.model.parameters(),
-                                  learning_rate=self.config.learning_rate,
-                                  weight_decay=self.config.weight_decay,
-                                  schedule=schedule)
+            self.optimizer = build_optimizer(self.model.parameters(),
+                                             self._spec(), max(1, total_steps))
+
+    # -- joint objective --------------------------------------------------
+    def compute_loss(self, batch: Dict[str, np.ndarray],
+                     rng: np.random.Generator) -> StepOutput:
+        """Mask ``batch`` and evaluate the joint MLM + MER loss (Eqn. 7)."""
+        masked = self.masking.apply(batch, rng)
+        token_hidden, entity_hidden = self.model.encode(
+            masked.batch, use_visibility=self.use_visibility)
+
+        extras: Dict[str, float] = {"mlm": 0.0, "mer": 0.0}
+        total = None
+        if masked.n_mlm:
+            mlm_logits = self.model.mlm_logits(token_hidden)
+            mlm_loss = masked_cross_entropy(
+                mlm_logits, np.maximum(masked.mlm_labels, 0),
+                masked.mlm_labels != IGNORE)
+            extras["mlm"] = mlm_loss.item()
+            total = mlm_loss
+        if masked.n_mer:
+            candidate_ids, remapped = self.candidates.build(
+                batch["entity_ids"], masked.mer_labels, rng)
+            mer_logits = self.model.mer_logits(entity_hidden, candidate_ids)
+            mer_loss = masked_cross_entropy(
+                mer_logits, np.maximum(remapped, 0), remapped != IGNORE)
+            extras["mer"] = mer_loss.item()
+            total = mer_loss if total is None else total + mer_loss
+        extras["tokens"] = int(batch["token_mask"].sum()
+                               + batch["entity_mask"].sum())
+        return StepOutput(loss=total, extras=extras)
 
     # -- one optimization step -------------------------------------------
     def step(self, batch: Dict[str, np.ndarray]) -> Dict[str, float]:
         """Mask, forward, compute the joint loss, and update parameters.
 
-        Besides the losses, the result carries per-phase wall seconds
-        (``forward_seconds`` / ``backward_seconds`` / ``optimizer_seconds``),
-        the pre-clip gradient norm and the learning rate applied this step.
+        Delegates to the engine's step executor; besides the losses, the
+        result carries per-phase wall seconds (``forward_seconds`` /
+        ``backward_seconds`` / ``optimizer_seconds``), the pre-clip gradient
+        norm and the learning rate applied this step.
         """
-        with trace("pretrain/step"):
-            masked = self.masking.apply(batch, self.rng)
-            phase_start = time.perf_counter()
-            with trace("pretrain/step/forward"):
-                token_hidden, entity_hidden = self.model.encode(
-                    masked.batch, use_visibility=self.use_visibility)
-
-                losses: Dict[str, float] = {"mlm": 0.0, "mer": 0.0}
-                total = None
-                if masked.n_mlm:
-                    mlm_logits = self.model.mlm_logits(token_hidden)
-                    mlm_loss = masked_cross_entropy(
-                        mlm_logits, np.maximum(masked.mlm_labels, 0),
-                        masked.mlm_labels != IGNORE)
-                    losses["mlm"] = mlm_loss.item()
-                    total = mlm_loss
-                if masked.n_mer:
-                    candidate_ids, remapped = self.candidates.build(
-                        batch["entity_ids"], masked.mer_labels, self.rng)
-                    mer_logits = self.model.mer_logits(entity_hidden, candidate_ids)
-                    mer_loss = masked_cross_entropy(
-                        mer_logits, np.maximum(remapped, 0), remapped != IGNORE)
-                    losses["mer"] = mer_loss.item()
-                    total = mer_loss if total is None else total + mer_loss
-            timings = {"forward_seconds": time.perf_counter() - phase_start,
-                       "backward_seconds": 0.0, "optimizer_seconds": 0.0}
-            if total is None:
-                return {"loss": 0.0, **losses, **timings,
-                        "grad_norm": 0.0, "lr": 0.0}
-
-            self.model.zero_grad()
-            phase_start = time.perf_counter()
-            with trace("pretrain/step/backward"):
-                total.backward()
-                grad_norm = clip_grad_norm(self.model.parameters(),
-                                           self.config.gradient_clip)
-            timings["backward_seconds"] = time.perf_counter() - phase_start
-            lr = self.optimizer.schedule(self.optimizer.step_count)
-            phase_start = time.perf_counter()
-            with trace("pretrain/step/optimizer"):
-                self.optimizer.step()
-            timings["optimizer_seconds"] = time.perf_counter() - phase_start
-            losses["loss"] = total.item()
-
-            registry = get_registry()
-            registry.counter("pretrain.steps").inc()
-            registry.histogram("pretrain.loss").observe(losses["loss"])
-            registry.histogram("pretrain.grad_norm").observe(grad_norm)
-            for phase, seconds in timings.items():
-                registry.timer(f"pretrain.{phase[:-len('_seconds')]}").observe(seconds)
-            return {**losses, **timings, "grad_norm": grad_norm, "lr": lr}
+        executor = Trainer(PretrainObjective(self), self._spec(),
+                           rng=self.rng, optimizer=self.optimizer)
+        result = executor.run_step(batch)
+        self.optimizer = executor.optimizer
+        return result
 
     # -- training loop ----------------------------------------------------
     def train(self, n_epochs: int = 1,
               eval_instances: Optional[Sequence[TableInstance]] = None,
               eval_every: Optional[int] = None,
               max_eval_tables: int = 50) -> PretrainStats:
-        """Train for ``n_epochs`` passes over the corpus.
+        """Train for ``n_epochs`` passes over the corpus on the shared engine.
 
         When ``eval_instances`` is provided the object-entity-prediction
         probe runs every ``eval_every`` steps (and once at the end).
@@ -156,64 +192,23 @@ class Pretrainer:
         When the pretrainer was built with a :class:`~repro.obs.RunJournal`,
         one header event plus one event per step / probe is appended.
         """
-        stats = PretrainStats()
-        steps_per_epoch = max(1, int(np.ceil(len(self.instances) / self.config.batch_size)))
+        steps_per_epoch = max(1, int(np.ceil(len(self.instances)
+                                             / self.config.batch_size)))
         self._ensure_optimizer(steps_per_epoch * n_epochs)
-        if self.journal is not None:
-            self.journal.header(config=self.config.to_dict(), seed=self.seed,
-                                n_instances=len(self.instances),
-                                n_epochs=n_epochs)
-        self.model.train()
-        step_index = 0
-        train_start = time.perf_counter()
-        with trace("pretrain/train"):
-            for _ in range(n_epochs):
-                for batch in batches_of(self.instances, self.config.batch_size,
-                                        self.rng):
-                    step_start = time.perf_counter()
-                    result = self.step(batch)
-                    step_seconds = time.perf_counter() - step_start
-                    stats.losses.append(result["loss"])
-                    stats.mlm_losses.append(result["mlm"])
-                    stats.mer_losses.append(result["mer"])
-                    step_index += 1
-                    if self.journal is not None:
-                        tokens = int(batch["token_mask"].sum()
-                                     + batch["entity_mask"].sum())
-                        self.journal.step(
-                            step_index,
-                            loss=result["loss"], mlm=result["mlm"],
-                            mer=result["mer"], lr=result["lr"],
-                            grad_norm=result["grad_norm"], tokens=tokens,
-                            seconds=step_seconds,
-                            tokens_per_second=(tokens / step_seconds
-                                               if step_seconds > 0 else 0.0),
-                            forward_seconds=result["forward_seconds"],
-                            backward_seconds=result["backward_seconds"],
-                            optimizer_seconds=result["optimizer_seconds"])
-                    if (eval_instances is not None and eval_every
-                            and step_index % eval_every == 0):
-                        self._run_probe(stats, step_index, eval_instances,
-                                        max_eval_tables)
-        if eval_instances is not None:
-            self._run_probe(stats, step_index, eval_instances, max_eval_tables)
-        stats.steps = step_index
-        stats.wall_seconds = time.perf_counter() - train_start
-        get_registry().gauge("pretrain.throughput").set(stats.throughput)
-        return stats
-
-    def _run_probe(self, stats: PretrainStats, step_index: int,
-                   eval_instances: Sequence[TableInstance],
-                   max_eval_tables: int) -> None:
-        """One journaled evaluation probe; model mode is restored inside."""
-        probe_start = time.perf_counter()
-        accuracy = self.evaluate_object_prediction(
-            eval_instances, max_tables=max_eval_tables)
-        stats.eval_steps.append(step_index)
-        stats.eval_accuracies.append(accuracy)
-        if self.journal is not None:
-            self.journal.probe(step_index, accuracy,
-                               seconds=time.perf_counter() - probe_start)
+        task = PretrainObjective(self, eval_instances, max_eval_tables)
+        trainer = Trainer(task, self._spec(n_epochs, eval_every=eval_every),
+                          journal=self.journal, rng=self.rng,
+                          optimizer=self.optimizer)
+        engine_stats = trainer.fit()
+        return PretrainStats(
+            losses=engine_stats.losses,
+            mlm_losses=engine_stats.extras.get("mlm", []),
+            mer_losses=engine_stats.extras.get("mer", []),
+            eval_steps=engine_stats.eval_steps,
+            eval_accuracies=engine_stats.eval_values,
+            wall_seconds=engine_stats.wall_seconds,
+            steps=engine_stats.steps,
+        )
 
     # -- Figure 7 probe ------------------------------------------------------
     def evaluate_object_prediction(self, instances: Sequence[TableInstance],
@@ -226,15 +221,9 @@ class Pretrainer:
         MER candidate set; a hit means the true entity ranks first.  The
         caller's train/eval mode is restored on exit.
         """
-        was_training = self.model.training
-        self.model.eval()
-        try:
-            with trace("pretrain/probe"):
-                return self._object_prediction_accuracy(
-                    instances, max_tables, max_cells_per_table)
-        finally:
-            if was_training:
-                self.model.train()
+        with eval_mode(self.model), trace("pretrain/probe"):
+            return self._object_prediction_accuracy(
+                instances, max_tables, max_cells_per_table)
 
     def _object_prediction_accuracy(self, instances: Sequence[TableInstance],
                                     max_tables: Optional[int],

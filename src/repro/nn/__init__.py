@@ -21,6 +21,7 @@ from repro.nn.layers import (
     Dropout,
     Sequential,
     ModuleList,
+    eval_mode,
 )
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.transformer import TransformerBlock, TransformerEncoder
@@ -45,6 +46,7 @@ __all__ = [
     "Dropout",
     "Sequential",
     "ModuleList",
+    "eval_mode",
     "MultiHeadAttention",
     "TransformerBlock",
     "TransformerEncoder",

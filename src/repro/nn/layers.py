@@ -8,6 +8,7 @@ learning code.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -100,6 +101,23 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+
+@contextmanager
+def eval_mode(module: Module):
+    """Run a block with ``module`` in eval mode, restoring the caller's mode.
+
+    Every inference path (``predict`` / ``rank`` / evaluation probes) must use
+    this instead of a bare ``module.eval()`` so that interleaving evaluation
+    with training never silently leaves the model in the wrong mode.
+    """
+    was_training = module.training
+    module.eval()
+    try:
+        yield module
+    finally:
+        if was_training:
+            module.train()
 
 
 def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:

@@ -19,12 +19,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.batching import collate
+from repro.core.batching import encode_table
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Column, EntityCell, Table
-from repro.nn import no_grad
+from repro.nn import eval_mode, no_grad
 from repro.obs import get_registry, trace
 from repro.tasks.metrics import precision_at_k
 from repro.tasks.schema_augmentation import normalize_header
@@ -201,8 +201,8 @@ class TURLCellFiller:
         """Rank candidate object entities for the masked cell."""
         if not candidates:
             return []
-        encoded = self.linearizer.encode(self._query_table(instance))
-        batch = collate([encoded])
+        encoded, batch = encode_table(self.linearizer,
+                                      self._query_table(instance))
         # The object cell is the last entity position; mask it fully.
         object_position = encoded.n_entities - 1
         batch["entity_ids"][0, object_position] = MASK_ID
@@ -214,7 +214,7 @@ class TURLCellFiller:
             [self.linearizer.entity_vocab.id_of(c) for c in candidates],
             dtype=np.int64)
         get_registry().counter("task.cell_filling.rankings").inc()
-        with trace("task/cell_filling/rank"), no_grad():
+        with trace("task/cell_filling/rank"), eval_mode(self.model), no_grad():
             _, entity_hidden = self.model.encode(batch)
             logits = self.model.mer_logits(entity_hidden, vocab_ids).data
         scores = logits[0, object_position]

@@ -9,19 +9,20 @@ Table 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.core.batching import collate
+from repro.core.batching import encode_table, group_by_table
 from repro.core.context import TURLContext
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
-from repro.nn import Adam, Linear, Module, Tensor, binary_cross_entropy_logits, no_grad, stack
-from repro.obs import get_registry, trace
+from repro.nn import Linear, Module, Tensor, binary_cross_entropy_logits, eval_mode, no_grad, stack
+from repro.obs import RunJournal, get_registry, trace
+from repro.train import TrainableTask, Trainer, TrainSpec
 from repro.tasks.encoding import (
     InputAblation,
     apply_ablation_to_batch,
@@ -115,6 +116,39 @@ def build_column_type_dataset(kb: KnowledgeBase, train: TableCorpus,
     )
 
 
+class ColumnTypeTask(TrainableTask):
+    """Column type annotation as an engine task (one item = one table group)."""
+
+    name = "task/column_type"
+
+    def __init__(self, annotator: "TURLColumnTypeAnnotator",
+                 dataset: ColumnTypeDataset):
+        self.module = annotator
+        self.annotator = annotator
+        self.dataset = dataset
+
+    def build_batches(self) -> List[List[ColumnInstance]]:
+        by_table = group_by_table(self.dataset.train)
+        return [by_table[table_id] for table_id in sorted(by_table)]
+
+    def item_size(self, group: List[ColumnInstance]) -> int:
+        return len(group)
+
+    def loss(self, group: List[ColumnInstance], rng: np.random.Generator) -> Tensor:
+        cols = [g.col for g in group]
+        labels = np.stack([self.dataset.label_vector(g) for g in group])
+        logits = self.annotator.column_logits(group[0].table, cols)
+        return binary_cross_entropy_logits(logits, labels)
+
+    def eval_metric(self) -> Optional[float]:
+        if not self.dataset.validation:
+            return None
+        return self.annotator.evaluate(self.dataset.validation, self.dataset).f1
+
+    def config_dict(self) -> Dict[str, int]:
+        return {"n_types": len(self.dataset.type_names)}
+
+
 class TURLColumnTypeAnnotator(Module):
     """TURL fine-tuned for multi-label column type annotation."""
 
@@ -130,8 +164,7 @@ class TURLColumnTypeAnnotator(Module):
 
     def _encode_table(self, table: Table):
         source = table if self.ablation.use_metadata else strip_metadata(table)
-        instance = self.linearizer.encode(source)
-        batch = collate([instance])
+        instance, batch = encode_table(self.linearizer, source)
         apply_ablation_to_batch(batch, self.ablation)
         token_hidden, entity_hidden = self.model.encode(batch)
         return instance, token_hidden[0], entity_hidden[0]
@@ -144,56 +177,36 @@ class TURLColumnTypeAnnotator(Module):
         return self.classifier(stack(pooled, axis=0))
 
     # -- training ---------------------------------------------------------
+    def training_task(self, dataset: ColumnTypeDataset) -> ColumnTypeTask:
+        """This head's fine-tuning objective for :class:`repro.train.Trainer`."""
+        return ColumnTypeTask(self, dataset)
+
     def finetune(self, dataset: ColumnTypeDataset, epochs: int = 5,
                  learning_rate: float = 1e-3, max_instances: Optional[int] = None,
-                 seed: int = 0) -> List[float]:
-        """Fine-tune all parameters with BCE loss; returns per-epoch losses."""
-        rng = np.random.default_rng(seed)
-        optimizer = Adam(self.parameters(), learning_rate=learning_rate)
-        instances = list(dataset.train)
-        if max_instances is not None and len(instances) > max_instances:
-            chosen = rng.choice(len(instances), size=max_instances, replace=False)
-            instances = [instances[int(i)] for i in chosen]
+                 seed: int = 0, schedule: str = "constant",
+                 gradient_clip: Optional[float] = None,
+                 journal: Optional[RunJournal] = None) -> List[float]:
+        """Fine-tune all parameters with BCE loss; returns per-epoch losses.
 
-        # Group instances by table so each table is encoded once per epoch.
-        by_table: Dict[str, List[ColumnInstance]] = {}
-        for instance in instances:
-            by_table.setdefault(instance.table.table_id, []).append(instance)
-
-        self.model.train()
-        registry = get_registry()
-        epoch_losses = []
-        table_ids = sorted(by_table)
-        with trace("task/column_type/finetune"):
-            for _ in range(epochs):
-                order = rng.permutation(len(table_ids))
-                losses = []
-                for table_index in order:
-                    group = by_table[table_ids[int(table_index)]]
-                    cols = [g.col for g in group]
-                    labels = np.stack([dataset.label_vector(g) for g in group])
-                    logits = self.column_logits(group[0].table, cols)
-                    loss = binary_cross_entropy_logits(logits, labels)
-                    self.zero_grad()
-                    loss.backward()
-                    optimizer.step()
-                    losses.append(loss.item())
-                    registry.counter("task.column_type.finetune_steps").inc()
-                epoch_losses.append(float(np.mean(losses)))
-                registry.histogram("task.column_type.epoch_loss").observe(epoch_losses[-1])
-        return epoch_losses
+        Runs on the shared :class:`repro.train.Trainer`; ``schedule="linear"``
+        and ``gradient_clip`` opt into the paper's pre-training recipe, and
+        ``max_instances`` subsamples whole tables (see
+        :func:`repro.train.subsample_items`).
+        """
+        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
+                         schedule=schedule, gradient_clip=gradient_clip,
+                         seed=seed, max_items=max_instances)
+        stats = Trainer(self.training_task(dataset), spec, journal=journal).fit()
+        return stats.epoch_losses
 
     # -- inference -----------------------------------------------------------
     def predict(self, instances: Sequence[ColumnInstance],
                 dataset: ColumnTypeDataset, threshold: float = 0.5) -> List[Set[str]]:
-        self.model.eval()
-        predictions: List[Set[str]] = []
-        by_table: Dict[str, List[Tuple[int, ColumnInstance]]] = {}
-        for i, instance in enumerate(instances):
-            by_table.setdefault(instance.table.table_id, []).append((i, instance))
+        by_table = group_by_table(enumerate(instances),
+                                  table_of=lambda pair: pair[1].table)
         get_registry().counter("task.column_type.predictions").inc(len(instances))
         results: Dict[int, Set[str]] = {}
-        with trace("task/column_type/predict"), no_grad():
+        with trace("task/column_type/predict"), eval_mode(self), no_grad():
             for group in by_table.values():
                 cols = [inst.col for _, inst in group]
                 logits = self.column_logits(group[0][1].table, cols).data

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.batching import collate
+from repro.core.batching import encode_table, group_by_table
 from repro.core.context import TURLContext
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
@@ -29,7 +29,6 @@ from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.lookup import LookupService
 from repro.nn import (
-    Adam,
     Embedding,
     Linear,
     Module,
@@ -37,10 +36,12 @@ from repro.nn import (
     Tensor,
     concat,
     cross_entropy_logits,
+    eval_mode,
     no_grad,
     stack,
 )
-from repro.obs import get_registry, trace
+from repro.obs import RunJournal, trace
+from repro.train import TrainableTask, Trainer, TrainSpec
 from repro.tasks.metrics import PrecisionRecallF1
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import MASK_ID, PAD_ID
@@ -115,6 +116,52 @@ def oracle_metrics(instances: Sequence[LinkingInstance]) -> PrecisionRecallF1:
                    (instance.candidates[0] if instance.candidates else None)
                    for instance in instances]
     return evaluate_linking(predictions, instances)
+
+
+class EntityLinkingTask(TrainableTask):
+    """Entity disambiguation as an engine task (one item = one table group).
+
+    Only trainable mentions — truth among the candidates and more than one
+    candidate — are kept, matching the paper's training filter.
+    """
+
+    name = "task/entity_linking"
+
+    def __init__(self, linker: "TURLEntityLinker",
+                 instances: Sequence[LinkingInstance]):
+        self.module = linker
+        self.linker = linker
+        self.instances = list(instances)
+
+    def build_batches(self) -> List[List[LinkingInstance]]:
+        eligible = [instance for instance in self.instances
+                    if instance.truth_in_candidates
+                    and len(instance.candidates) > 1]
+        by_table = group_by_table(eligible)
+        return [by_table[table_id] for table_id in sorted(by_table)]
+
+    def item_size(self, group: List[LinkingInstance]) -> int:
+        return len(group)
+
+    def loss(self, group: List[LinkingInstance],
+             rng: np.random.Generator) -> Optional[Tensor]:
+        linker = self.linker
+        entity_hidden, coordinates = linker._cell_hidden(group[0].table)
+        position_of = {coord: i for i, coord in enumerate(coordinates)}
+        total = None
+        for instance in group:
+            position = position_of.get((instance.row, instance.col))
+            if position is None:
+                continue
+            logits = linker._score_cell(entity_hidden[position],
+                                        instance.candidates,
+                                        instance.candidate_scores).reshape(1, -1)
+            target = np.asarray([instance.candidates.index(instance.true_id)])
+            loss = cross_entropy_logits(logits, target)
+            total = loss if total is None else total + loss
+        if total is None:
+            return None
+        return total * (1.0 / len(group))
 
 
 class TURLEntityLinker(Module):
@@ -201,8 +248,7 @@ class TURLEntityLinker(Module):
     def _cell_hidden(self, table: Table) -> Tuple[Tensor, List[Tuple[int, int]]]:
         """Encode ``table`` with all entity embeddings masked; return entity
         hidden states and the (row, col) of each entity position."""
-        instance = self.linearizer.encode(table)
-        batch = collate([instance])
+        instance, batch = encode_table(self.linearizer, table)
         # Downstream condition: entity ids unknown -> masked; mentions kept.
         masked_ids = batch["entity_ids"].copy()
         masked_ids[batch["entity_mask"]] = MASK_ID
@@ -234,59 +280,35 @@ class TURLEntityLinker(Module):
         return logits
 
     # -- fine-tuning -----------------------------------------------------------
+    def training_task(self, instances: Sequence[LinkingInstance]) -> EntityLinkingTask:
+        """This head's fine-tuning objective for :class:`repro.train.Trainer`."""
+        return EntityLinkingTask(self, instances)
+
     def finetune(self, instances: Sequence[LinkingInstance], epochs: int = 3,
-                 learning_rate: float = 1e-3, seed: int = 0) -> List[float]:
-        """Cross-entropy over candidates; all parameters are trained."""
-        rng = np.random.default_rng(seed)
-        optimizer = Adam(self.parameters(), learning_rate=learning_rate)
-        by_table: Dict[str, List[LinkingInstance]] = {}
-        for instance in instances:
-            if instance.truth_in_candidates and len(instance.candidates) > 1:
-                by_table.setdefault(instance.table.table_id, []).append(instance)
-        table_ids = sorted(by_table)
-        self.model.train()
-        registry = get_registry()
-        epoch_losses = []
-        with trace("task/entity_linking/finetune"):
-            for _ in range(epochs):
-                order = rng.permutation(len(table_ids))
-                losses = []
-                for index in order:
-                    group = by_table[table_ids[int(index)]]
-                    entity_hidden, coordinates = self._cell_hidden(group[0].table)
-                    position_of = {coord: i for i, coord in enumerate(coordinates)}
-                    total = None
-                    for instance in group:
-                        position = position_of.get((instance.row, instance.col))
-                        if position is None:
-                            continue
-                        logits = self._score_cell(entity_hidden[position],
-                                                  instance.candidates,
-                                                  instance.candidate_scores).reshape(1, -1)
-                        target = np.asarray(
-                            [instance.candidates.index(instance.true_id)])
-                        loss = cross_entropy_logits(logits, target)
-                        total = loss if total is None else total + loss
-                    if total is None:
-                        continue
-                    total = total * (1.0 / len(group))
-                    self.zero_grad()
-                    total.backward()
-                    optimizer.step()
-                    losses.append(total.item())
-                    registry.counter("task.entity_linking.finetune_steps").inc()
-                epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
-                registry.histogram("task.entity_linking.epoch_loss").observe(epoch_losses[-1])
-        return epoch_losses
+                 learning_rate: float = 1e-3, seed: int = 0,
+                 max_instances: Optional[int] = None,
+                 schedule: str = "constant",
+                 gradient_clip: Optional[float] = None,
+                 journal: Optional[RunJournal] = None) -> List[float]:
+        """Cross-entropy over candidates; all parameters are trained.
+
+        Runs on the shared :class:`repro.train.Trainer`; returns per-epoch
+        losses.  ``schedule="linear"`` / ``gradient_clip`` opt into the
+        paper's recipe; ``max_instances`` subsamples whole tables.
+        """
+        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
+                         schedule=schedule, gradient_clip=gradient_clip,
+                         seed=seed, max_items=max_instances)
+        stats = Trainer(self.training_task(instances), spec,
+                        journal=journal).fit()
+        return stats.epoch_losses
 
     # -- inference -----------------------------------------------------------
     def predict(self, instances: Sequence[LinkingInstance]) -> List[Optional[str]]:
-        self.model.eval()
-        by_table: Dict[str, List[Tuple[int, LinkingInstance]]] = {}
-        for i, instance in enumerate(instances):
-            by_table.setdefault(instance.table.table_id, []).append((i, instance))
+        by_table = group_by_table(enumerate(instances),
+                                  table_of=lambda pair: pair[1].table)
         results: Dict[int, Optional[str]] = {}
-        with no_grad():
+        with trace("task/entity_linking/predict"), eval_mode(self), no_grad():
             for group in by_table.values():
                 entity_hidden, coordinates = self._cell_hidden(group[0][1].table)
                 position_of = {coord: i for i, coord in enumerate(coordinates)}

@@ -16,14 +16,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.batching import collate
+from repro.core.batching import encode_table
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
-from repro.nn import Adam, Linear, Module, Tensor, binary_cross_entropy_logits, no_grad, stack
-from repro.obs import get_registry, trace
+from repro.nn import Linear, Module, Tensor, binary_cross_entropy_logits, eval_mode, no_grad, stack
+from repro.obs import RunJournal, trace
+from repro.train import TrainableTask, Trainer, TrainSpec
 from repro.tasks.encoding import (
     InputAblation,
     apply_ablation_to_batch,
@@ -123,6 +124,35 @@ def build_relation_dataset(kb: KnowledgeBase, train: TableCorpus,
     )
 
 
+class RelationExtractionTask(TrainableTask):
+    """Relation extraction as an engine task (one item = one column pair)."""
+
+    name = "task/relation_extraction"
+
+    def __init__(self, extractor: "TURLRelationExtractor",
+                 dataset: RelationDataset, map_instances: int = 40):
+        self.module = extractor
+        self.extractor = extractor
+        self.dataset = dataset
+        self.map_instances = map_instances
+
+    def build_batches(self) -> List[RelationInstance]:
+        return list(self.dataset.train)
+
+    def loss(self, instance: RelationInstance,
+             rng: np.random.Generator) -> Tensor:
+        logits = self.extractor.pair_logits(instance).reshape(1, -1)
+        labels = self.dataset.label_vector(instance).reshape(1, -1)
+        return binary_cross_entropy_logits(logits, labels)
+
+    def eval_metric(self) -> float:
+        return self.extractor.validation_map(self.dataset,
+                                             max_instances=self.map_instances)
+
+    def config_dict(self) -> Dict[str, int]:
+        return {"n_relations": len(self.dataset.relation_names)}
+
+
 class TURLRelationExtractor(Module):
     """TURL fine-tuned for column-pair relation extraction (Eqn. 12)."""
 
@@ -139,8 +169,7 @@ class TURLRelationExtractor(Module):
     def _pair_representation(self, instance: RelationInstance) -> Tensor:
         table = (instance.table if self.ablation.use_metadata
                  else strip_metadata(instance.table))
-        encoded = self.linearizer.encode(table)
-        batch = collate([encoded])
+        encoded, batch = encode_table(self.linearizer, table)
         apply_ablation_to_batch(batch, self.ablation)
         token_hidden, entity_hidden = self.model.encode(batch)
         subject = column_representation(token_hidden[0], entity_hidden[0],
@@ -153,52 +182,38 @@ class TURLRelationExtractor(Module):
         return self.classifier(self._pair_representation(instance))
 
     # -- training ---------------------------------------------------------
+    def training_task(self, dataset: RelationDataset,
+                      map_instances: int = 40) -> RelationExtractionTask:
+        """This head's fine-tuning objective for :class:`repro.train.Trainer`."""
+        return RelationExtractionTask(self, dataset, map_instances=map_instances)
+
     def finetune(self, dataset: RelationDataset, epochs: int = 3,
                  learning_rate: float = 1e-3, max_instances: Optional[int] = None,
                  seed: int = 0, map_every: Optional[int] = None,
-                 map_instances: int = 40) -> Dict[str, List[float]]:
+                 map_instances: int = 40, schedule: str = "constant",
+                 gradient_clip: Optional[float] = None,
+                 journal: Optional[RunJournal] = None) -> Dict[str, List[float]]:
         """Fine-tune; optionally record validation MAP every ``map_every``
         steps (Figure 6).  Returns ``{"losses": [...], "map_steps": [...],
-        "map_values": [...]}``."""
-        rng = np.random.default_rng(seed)
-        optimizer = Adam(self.parameters(), learning_rate=learning_rate)
-        instances = list(dataset.train)
-        if max_instances is not None and len(instances) > max_instances:
-            chosen = rng.choice(len(instances), size=max_instances, replace=False)
-            instances = [instances[int(i)] for i in chosen]
+        "map_values": [...]}``.
 
-        history: Dict[str, List[float]] = {"losses": [], "map_steps": [], "map_values": []}
-        step = 0
-        self.model.train()
-        registry = get_registry()
-        with trace("task/relation_extraction/finetune"):
-            for _ in range(epochs):
-                order = rng.permutation(len(instances))
-                for index in order:
-                    instance = instances[int(index)]
-                    logits = self.pair_logits(instance).reshape(1, -1)
-                    labels = dataset.label_vector(instance).reshape(1, -1)
-                    loss = binary_cross_entropy_logits(logits, labels)
-                    self.zero_grad()
-                    loss.backward()
-                    optimizer.step()
-                    history["losses"].append(loss.item())
-                    registry.counter("task.relation_extraction.finetune_steps").inc()
-                    registry.histogram("task.relation_extraction.loss").observe(loss.item())
-                    step += 1
-                    if map_every and step % map_every == 0:
-                        history["map_steps"].append(step)
-                        history["map_values"].append(
-                            self.validation_map(dataset, max_instances=map_instances))
-                        self.model.train()
-        return history
+        Runs on the shared :class:`repro.train.Trainer`; ``schedule="linear"``
+        / ``gradient_clip`` opt into the paper's recipe.
+        """
+        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
+                         schedule=schedule, gradient_clip=gradient_clip,
+                         seed=seed, max_items=max_instances,
+                         eval_every=map_every)
+        task = self.training_task(dataset, map_instances=map_instances)
+        stats = Trainer(task, spec, journal=journal).fit()
+        return {"losses": stats.losses, "map_steps": stats.eval_steps,
+                "map_values": stats.eval_values}
 
     # -- inference -----------------------------------------------------------
     def predict(self, instances: Sequence[RelationInstance],
                 dataset: RelationDataset, threshold: float = 0.5) -> List[Set[str]]:
-        self.model.eval()
         predictions = []
-        with no_grad():
+        with trace("task/relation_extraction/predict"), eval_mode(self), no_grad():
             for instance in instances:
                 logits = self.pair_logits(instance).data
                 probabilities = 1.0 / (1.0 + np.exp(-logits))
@@ -217,10 +232,9 @@ class TURLRelationExtractor(Module):
     def validation_map(self, dataset: RelationDataset,
                        max_instances: int = 40) -> float:
         """Mean average precision over ranked relations (Figure 6 metric)."""
-        self.model.eval()
         instances = dataset.validation[:max_instances]
         scores = []
-        with no_grad():
+        with eval_mode(self), no_grad():
             for instance in instances:
                 logits = self.pair_logits(instance).data
                 ranked = [dataset.relation_names[j] for j in np.argsort(-logits)]

@@ -20,13 +20,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.batching import collate
+from repro.core.batching import encode_table
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Column, EntityCell, Table
-from repro.nn import Adam, Module, Parameter, Tensor, binary_cross_entropy_logits, no_grad
-from repro.obs import get_registry, trace
+from repro.nn import Module, Parameter, Tensor, binary_cross_entropy_logits, eval_mode, no_grad
+from repro.obs import RunJournal, trace
+from repro.train import TrainableTask, Trainer, TrainSpec
 from repro.retrieval.bm25 import BM25Index
 from repro.tasks.metrics import mean_average_precision, recall_at_k
 from repro.text.vocab import SPECIAL_TOKENS
@@ -128,6 +129,41 @@ class PopulationCandidateGenerator:
         return float(np.mean(scores)) if scores else 0.0
 
 
+class RowPopulationTask(TrainableTask):
+    """Row population as an engine task (one item = one partial table).
+
+    Items without candidates or without a positive target among them are
+    skipped (no optimization step).
+    """
+
+    name = "task/row_population"
+
+    def __init__(self, populator: "TURLRowPopulator",
+                 instances: Sequence[PopulationInstance],
+                 generator: PopulationCandidateGenerator,
+                 max_candidates: int = 100):
+        self.module = populator
+        self.populator = populator
+        self.instances = list(instances)
+        self.generator = generator
+        self.max_candidates = max_candidates
+
+    def build_batches(self) -> List[PopulationInstance]:
+        return list(self.instances)
+
+    def loss(self, instance: PopulationInstance,
+             rng: np.random.Generator) -> Optional[Tensor]:
+        candidates = self.generator.candidates_for(instance)[:self.max_candidates]
+        if not candidates:
+            return None
+        labels = np.asarray([1.0 if c in instance.target_entities else 0.0
+                             for c in candidates])
+        if labels.sum() == 0:
+            return None
+        logits = self.populator._candidate_logits(instance, candidates)
+        return binary_cross_entropy_logits(logits, labels)
+
+
 class TURLRowPopulator(Module):
     """TURL fine-tuned for row population (Eqn. 13)."""
 
@@ -145,8 +181,8 @@ class TURLRowPopulator(Module):
     def _mask_hidden(self, instance: PopulationInstance) -> Tensor:
         """Hidden state of the appended [MASK] entity slot."""
         table = partial_table(instance)
-        encoded = self.linearizer.encode(table, extra_entity_slots=1)
-        batch = collate([encoded])
+        encoded, batch = encode_table(self.linearizer, table,
+                                      extra_entity_slots=1)
         _, entity_hidden = self.model.encode(batch)
         return entity_hidden[0, encoded.n_entities - 1]
 
@@ -169,51 +205,35 @@ class TURLRowPopulator(Module):
             logits = logits + self.seed_weight * Tensor(similarity)
         return logits
 
+    def training_task(self, instances: Sequence[PopulationInstance],
+                      generator: PopulationCandidateGenerator,
+                      max_candidates: int = 100) -> RowPopulationTask:
+        """This head's fine-tuning objective for :class:`repro.train.Trainer`."""
+        return RowPopulationTask(self, instances, generator,
+                                 max_candidates=max_candidates)
+
     def finetune(self, instances: Sequence[PopulationInstance],
                  generator: PopulationCandidateGenerator, epochs: int = 2,
                  learning_rate: float = 1e-3, max_instances: Optional[int] = None,
-                 max_candidates: int = 100, seed: int = 0) -> List[float]:
-        rng = np.random.default_rng(seed)
-        optimizer = Adam(self.parameters(), learning_rate=learning_rate)
-        instances = list(instances)
-        if max_instances is not None and len(instances) > max_instances:
-            chosen = rng.choice(len(instances), size=max_instances, replace=False)
-            instances = [instances[int(i)] for i in chosen]
-
-        self.model.train()
-        registry = get_registry()
-        epoch_losses = []
-        with trace("task/row_population/finetune"):
-            for _ in range(epochs):
-                order = rng.permutation(len(instances))
-                losses = []
-                for index in order:
-                    instance = instances[int(index)]
-                    candidates = generator.candidates_for(instance)[:max_candidates]
-                    if not candidates:
-                        continue
-                    labels = np.asarray(
-                        [1.0 if c in instance.target_entities else 0.0
-                         for c in candidates])
-                    if labels.sum() == 0:
-                        continue
-                    logits = self._candidate_logits(instance, candidates)
-                    loss = binary_cross_entropy_logits(logits, labels)
-                    self.zero_grad()
-                    loss.backward()
-                    optimizer.step()
-                    losses.append(loss.item())
-                    registry.counter("task.row_population.finetune_steps").inc()
-                epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
-                registry.histogram("task.row_population.epoch_loss").observe(epoch_losses[-1])
-        return epoch_losses
+                 max_candidates: int = 100, seed: int = 0,
+                 schedule: str = "constant",
+                 gradient_clip: Optional[float] = None,
+                 journal: Optional[RunJournal] = None) -> List[float]:
+        """Eqn. 13 fine-tuning on the shared :class:`repro.train.Trainer`;
+        returns per-epoch losses."""
+        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
+                         schedule=schedule, gradient_clip=gradient_clip,
+                         seed=seed, max_items=max_instances)
+        task = self.training_task(instances, generator,
+                                  max_candidates=max_candidates)
+        stats = Trainer(task, spec, journal=journal).fit()
+        return stats.epoch_losses
 
     def rank(self, instance: PopulationInstance,
              candidates: Sequence[str]) -> List[str]:
-        self.model.eval()
         if not candidates:
             return []
-        with no_grad():
+        with trace("task/row_population/rank"), eval_mode(self), no_grad():
             logits = self._candidate_logits(instance, candidates).data
         order = np.argsort(-logits)
         return [candidates[int(i)] for i in order]

@@ -16,13 +16,14 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.core.batching import collate
+from repro.core.batching import encode_table
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Column, Table
-from repro.nn import Adam, Module, Parameter, Tensor, binary_cross_entropy_logits, no_grad
-from repro.obs import get_registry, trace
+from repro.nn import Module, Parameter, Tensor, binary_cross_entropy_logits, eval_mode, no_grad
+from repro.obs import RunJournal, trace
+from repro.train import TrainableTask, Trainer, TrainSpec
 from repro.tasks.metrics import average_precision, mean_average_precision
 
 _WS = re.compile(r"\s+")
@@ -71,6 +72,40 @@ def build_schema_instances(corpus: TableCorpus, header_vocabulary: Sequence[str]
     return instances
 
 
+class SchemaAugmentationTask(TrainableTask):
+    """Header recommendation as an engine task (one item = one query).
+
+    Queries whose targets fall outside the header vocabulary are skipped.
+    """
+
+    name = "task/schema_augmentation"
+
+    def __init__(self, augmenter: "TURLSchemaAugmenter",
+                 instances: Sequence[SchemaInstance]):
+        self.module = augmenter
+        self.augmenter = augmenter
+        self.instances = list(instances)
+
+    def build_batches(self) -> List[SchemaInstance]:
+        return list(self.instances)
+
+    def loss(self, instance: SchemaInstance,
+             rng: np.random.Generator) -> Optional[Tensor]:
+        augmenter = self.augmenter
+        labels = np.zeros(len(augmenter.header_vocabulary))
+        for header in instance.target_headers:
+            position = augmenter.header_index.get(header)
+            if position is not None:
+                labels[position] = 1.0
+        if labels.sum() == 0:
+            return None
+        logits = augmenter.header_logits(instance)
+        return binary_cross_entropy_logits(logits, labels)
+
+    def config_dict(self) -> Dict[str, int]:
+        return {"n_headers": len(self.augmenter.header_vocabulary)}
+
+
 class TURLSchemaAugmenter(Module):
     """TURL fine-tuned for header recommendation."""
 
@@ -108,9 +143,9 @@ class TURLSchemaAugmenter(Module):
         )
 
     def _mask_hidden(self, instance: SchemaInstance) -> Tensor:
-        encoded = self.linearizer.encode(self._query_table(instance),
-                                         extra_entity_slots=1)
-        batch = collate([encoded])
+        encoded, batch = encode_table(self.linearizer,
+                                      self._query_table(instance),
+                                      extra_entity_slots=1)
         _, entity_hidden = self.model.encode(batch)
         return entity_hidden[0, encoded.n_entities - 1]
 
@@ -118,46 +153,27 @@ class TURLSchemaAugmenter(Module):
         hidden = self._mask_hidden(instance).reshape(1, -1)
         return (hidden @ self.header_embeddings.transpose()).reshape(-1)
 
+    def training_task(self, instances: Sequence[SchemaInstance]
+                      ) -> SchemaAugmentationTask:
+        """This head's fine-tuning objective for :class:`repro.train.Trainer`."""
+        return SchemaAugmentationTask(self, instances)
+
     def finetune(self, instances: Sequence[SchemaInstance], epochs: int = 2,
                  learning_rate: float = 1e-3, max_instances: Optional[int] = None,
-                 seed: int = 0) -> List[float]:
-        rng = np.random.default_rng(seed)
-        optimizer = Adam(self.parameters(), learning_rate=learning_rate)
-        instances = list(instances)
-        if max_instances is not None and len(instances) > max_instances:
-            chosen = rng.choice(len(instances), size=max_instances, replace=False)
-            instances = [instances[int(i)] for i in chosen]
-
-        self.model.train()
-        registry = get_registry()
-        epoch_losses = []
-        with trace("task/schema_augmentation/finetune"):
-            for _ in range(epochs):
-                order = rng.permutation(len(instances))
-                losses = []
-                for index in order:
-                    instance = instances[int(index)]
-                    labels = np.zeros(len(self.header_vocabulary))
-                    for header in instance.target_headers:
-                        position = self.header_index.get(header)
-                        if position is not None:
-                            labels[position] = 1.0
-                    if labels.sum() == 0:
-                        continue
-                    logits = self.header_logits(instance)
-                    loss = binary_cross_entropy_logits(logits, labels)
-                    self.zero_grad()
-                    loss.backward()
-                    optimizer.step()
-                    losses.append(loss.item())
-                    registry.counter("task.schema_augmentation.finetune_steps").inc()
-                epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
-                registry.histogram("task.schema_augmentation.epoch_loss").observe(epoch_losses[-1])
-        return epoch_losses
+                 seed: int = 0, schedule: str = "constant",
+                 gradient_clip: Optional[float] = None,
+                 journal: Optional[RunJournal] = None) -> List[float]:
+        """BCE fine-tuning on the shared :class:`repro.train.Trainer`;
+        returns per-epoch losses."""
+        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
+                         schedule=schedule, gradient_clip=gradient_clip,
+                         seed=seed, max_items=max_instances)
+        stats = Trainer(self.training_task(instances), spec,
+                        journal=journal).fit()
+        return stats.epoch_losses
 
     def rank(self, instance: SchemaInstance) -> List[str]:
-        self.model.eval()
-        with no_grad():
+        with trace("task/schema_augmentation/rank"), eval_mode(self), no_grad():
             logits = self.header_logits(instance).data
         order = np.argsort(-logits)
         seeds = set(instance.seed_headers)

@@ -1,0 +1,38 @@
+"""Shared training engine for pre-training and fine-tuning (Section 5).
+
+TURL's core paradigm is one model, one optimization recipe, many tasks:
+pre-train with MLM + MER, then fine-tune per task with the same Adam +
+linear-decay setup.  This package is that recipe as code — a single
+:class:`Trainer` that both :class:`repro.core.pretrain.Pretrainer` and all
+five trainable task heads run on, via the :class:`TrainableTask` protocol.
+
+Quick start::
+
+    from repro.train import Trainer, TrainSpec
+
+    task = annotator.training_task(dataset)        # any task head
+    spec = TrainSpec(epochs=5, schedule="linear", gradient_clip=5.0)
+    stats = Trainer(task, spec, journal=journal).fit()
+"""
+
+from repro.train.engine import (
+    TrainSpec,
+    TrainStats,
+    Trainer,
+    build_optimizer,
+    subsample_items,
+)
+from repro.train.task import StepOutput, TrainableTask
+from repro.train.checkpoint import load_training_state, save_training_state
+
+__all__ = [
+    "TrainSpec",
+    "TrainStats",
+    "Trainer",
+    "TrainableTask",
+    "StepOutput",
+    "build_optimizer",
+    "subsample_items",
+    "save_training_state",
+    "load_training_state",
+]

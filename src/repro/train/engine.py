@@ -1,0 +1,377 @@
+"""The shared training engine (paper Section 4.4 / Section 6 "details").
+
+One :class:`Trainer` drives both pre-training and every fine-tuning head:
+Adam with an optional linearly decaying learning rate and global-norm
+gradient clipping, seeded epoch shuffling, per-step / per-epoch statistics,
+periodic evaluation hooks with train/eval-mode restoration, early stopping,
+JSONL journaling, and checkpoint save / resume.  Tasks plug in through the
+:class:`~repro.train.task.TrainableTask` protocol.
+
+Subsampling semantics
+---------------------
+
+``TrainSpec.max_items`` caps the number of *training instances* seen per
+epoch.  Selection is **item-aware**: whole items (per-table groups for
+grouped tasks) are drawn in a seeded random order until the instance budget
+— the sum of :meth:`TrainableTask.item_size` — is reached, then kept in
+their original relative order.  Whole tables are therefore kept or dropped
+together, so the same seed yields the same table coverage in every task,
+and the draw comes from its own ``default_rng(seed)`` stream, independent of
+training progress (which is what makes checkpoint resume exact).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Adam, ConstantSchedule, LinearDecaySchedule, clip_grad_norm, eval_mode
+from repro.nn.tensor import Parameter
+from repro.obs import RunJournal, get_registry, trace
+from repro.train.task import StepOutput, TrainableTask
+
+SCHEDULES = ("constant", "linear")
+
+
+@dataclass
+class TrainSpec:
+    """Everything the engine needs to know about *how* to train.
+
+    ``schedule="linear"`` reproduces the paper's linearly decreasing learning
+    rate; ``gradient_clip=None`` disables clipping (the gradient norm is then
+    only computed when a journal asks for it).
+    """
+
+    epochs: int = 1
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    schedule: str = "constant"
+    warmup_steps: int = 0
+    final_lr_fraction: float = 0.1
+    gradient_clip: Optional[float] = None
+    batch_size: int = 1
+    seed: int = 0
+    max_items: Optional[int] = None
+    eval_every: Optional[int] = None
+    eval_at_end: bool = False
+    early_stop_patience: Optional[int] = None
+    early_stop_min_delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULES:
+            raise ValueError(f"unknown schedule {self.schedule!r}; "
+                             f"expected one of {SCHEDULES}")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainSpec":
+        return cls(**payload)
+
+
+@dataclass
+class TrainStats:
+    """Per-step and per-epoch history of one :meth:`Trainer.fit` run."""
+
+    losses: List[float] = field(default_factory=list)
+    epoch_losses: List[float] = field(default_factory=list)
+    lrs: List[float] = field(default_factory=list)
+    grad_norms: List[float] = field(default_factory=list)
+    extras: Dict[str, List[float]] = field(default_factory=dict)
+    eval_steps: List[int] = field(default_factory=list)
+    eval_values: List[float] = field(default_factory=list)
+    steps: int = 0
+    wall_seconds: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def throughput(self) -> float:
+        """Optimization steps per wall-clock second."""
+        return self.steps / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def final_eval(self) -> Optional[float]:
+        return self.eval_values[-1] if self.eval_values else None
+
+
+def build_optimizer(parameters: Sequence[Parameter], spec: TrainSpec,
+                    total_steps: int) -> Adam:
+    """The engine-owned optimizer recipe: Adam + the spec's LR schedule."""
+    if spec.schedule == "linear":
+        schedule = LinearDecaySchedule(spec.learning_rate,
+                                       total_steps=max(1, total_steps),
+                                       warmup_steps=spec.warmup_steps,
+                                       final_fraction=spec.final_lr_fraction)
+    else:
+        schedule = ConstantSchedule(spec.learning_rate)
+    return Adam(parameters, learning_rate=spec.learning_rate,
+                weight_decay=spec.weight_decay, schedule=schedule)
+
+
+def subsample_items(items: Sequence[Any], max_count: Optional[int], seed: int,
+                    size_of: Optional[Callable[[Any], int]] = None) -> List[Any]:
+    """Seeded, item-aware subsampling (see module docstring).
+
+    Whole items are drawn in ``default_rng(seed)`` order until the cumulative
+    ``size_of`` budget (default: one per item) reaches ``max_count``;
+    survivors keep their original relative order.  At least one item is
+    always kept.
+    """
+    if size_of is None:
+        size_of = lambda item: 1
+    items = list(items)
+    if max_count is None or sum(size_of(item) for item in items) <= max_count:
+        return items
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(items))
+    chosen: List[int] = []
+    budget = 0
+    for index in order:
+        chosen.append(int(index))
+        budget += size_of(items[int(index)])
+        if budget >= max_count:
+            break
+    return [items[i] for i in sorted(chosen)]
+
+
+def _grad_norm(parameters: Sequence[Parameter]) -> float:
+    present = [p for p in parameters if p.grad is not None]
+    return float(np.sqrt(sum(float((p.grad**2).sum()) for p in present)))
+
+
+class Trainer:
+    """Runs a :class:`TrainableTask` under a :class:`TrainSpec`.
+
+    ``rng`` / ``optimizer`` may be injected by callers that need to share
+    state with legacy facades (e.g. :class:`repro.core.pretrain.Pretrainer`);
+    by default the engine owns both.
+    """
+
+    def __init__(self, task: TrainableTask, spec: TrainSpec,
+                 journal: Optional[RunJournal] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 optimizer: Optional[Adam] = None):
+        self.task = task
+        self.spec = spec
+        self.journal = journal
+        self.rng = rng if rng is not None else np.random.default_rng(spec.seed)
+        self.optimizer = optimizer
+        self.epochs_completed = 0
+        self.step_index = 0
+        self._items: Optional[List[Any]] = None
+        self._best_epoch_loss = math.inf
+        self._epochs_since_improvement = 0
+        self._metric_prefix = task.name.replace("/", ".")
+
+    # -- setup -------------------------------------------------------------
+    @property
+    def items(self) -> List[Any]:
+        if self._items is None:
+            self._items = subsample_items(self.task.build_batches(),
+                                          self.spec.max_items, self.spec.seed,
+                                          self.task.item_size)
+        return self._items
+
+    @property
+    def steps_per_epoch(self) -> int:
+        return max(1, int(np.ceil(len(self.items) / self.spec.batch_size)))
+
+    def _ensure_optimizer(self, total_steps: Optional[int] = None) -> Adam:
+        if self.optimizer is None:
+            if total_steps is None:
+                total_steps = self.steps_per_epoch * self.spec.epochs
+            self.optimizer = build_optimizer(self.task.module.parameters(),
+                                             self.spec, total_steps)
+        return self.optimizer
+
+    def _write_header(self) -> None:
+        if self.journal is None:
+            return
+        n_instances = sum(self.task.item_size(item) for item in self.items)
+        self.journal.header(config=self.task.config_dict(),
+                            seed=self.spec.seed, task=self.task.name,
+                            n_instances=n_instances,
+                            n_epochs=self.spec.epochs,
+                            spec=self.spec.to_dict())
+
+    # -- one optimization step ---------------------------------------------
+    def run_step(self, batch: Any) -> Optional[Dict[str, float]]:
+        """Loss, backward, clip, optimizer update for one item/batch.
+
+        Returns ``None`` when the task skipped the item, otherwise a result
+        dictionary with the loss, any task extras, per-phase timings, the
+        pre-clip gradient norm and the applied learning rate.
+        """
+        spec, task = self.spec, self.task
+        with trace(f"{task.name}/step"):
+            phase_start = time.perf_counter()
+            with trace(f"{task.name}/step/forward"):
+                output = task.loss(batch, self.rng)
+            forward_seconds = time.perf_counter() - phase_start
+            if output is None:
+                return None
+            if not isinstance(output, StepOutput):
+                output = StepOutput(loss=output)
+            timings = {"forward_seconds": forward_seconds,
+                       "backward_seconds": 0.0, "optimizer_seconds": 0.0}
+            if output.loss is None:
+                return {"loss": 0.0, **output.extras, **timings,
+                        "grad_norm": 0.0, "lr": 0.0, "updated": 0.0}
+
+            optimizer = self._ensure_optimizer()
+            task.module.zero_grad()
+            phase_start = time.perf_counter()
+            with trace(f"{task.name}/step/backward"):
+                output.loss.backward()
+                if spec.gradient_clip is not None:
+                    grad_norm = clip_grad_norm(optimizer.parameters,
+                                               spec.gradient_clip)
+                elif self.journal is not None:
+                    grad_norm = _grad_norm(optimizer.parameters)
+                else:
+                    grad_norm = 0.0
+            timings["backward_seconds"] = time.perf_counter() - phase_start
+            lr = optimizer.schedule(optimizer.step_count)
+            phase_start = time.perf_counter()
+            with trace(f"{task.name}/step/optimizer"):
+                optimizer.step()
+            timings["optimizer_seconds"] = time.perf_counter() - phase_start
+            loss_value = output.loss.item()
+
+            registry = get_registry()
+            prefix = self._metric_prefix
+            registry.counter(f"{prefix}.steps").inc()
+            registry.histogram(f"{prefix}.loss").observe(loss_value)
+            registry.histogram(f"{prefix}.grad_norm").observe(grad_norm)
+            for phase, seconds in timings.items():
+                registry.timer(
+                    f"{prefix}.{phase[:-len('_seconds')]}").observe(seconds)
+            return {"loss": loss_value, **output.extras, **timings,
+                    "grad_norm": grad_norm, "lr": lr, "updated": 1.0}
+
+    # -- the loop -----------------------------------------------------------
+    def fit(self, epochs: Optional[int] = None) -> TrainStats:
+        """Train until ``spec.epochs`` total epochs are completed.
+
+        ``epochs`` caps how many *additional* epochs this call runs (used by
+        checkpoint/resume tests and incremental training); by default the
+        remaining ``spec.epochs - epochs_completed`` run.  Returns the stats
+        of this call only.
+        """
+        stats = TrainStats()
+        items = self.items
+        self._ensure_optimizer()
+        self._write_header()
+        target = self.spec.epochs
+        if epochs is not None:
+            target = min(target, self.epochs_completed + epochs)
+        module = self.task.module
+        module.train()
+        spec = self.spec
+        train_start = time.perf_counter()
+        with trace(f"{self.task.name}/train"):
+            while self.epochs_completed < target:
+                order = self.rng.permutation(len(items))
+                epoch_losses: List[float] = []
+                for start in range(0, len(items), spec.batch_size):
+                    chunk = [items[int(i)]
+                             for i in order[start:start + spec.batch_size]]
+                    batch = chunk[0] if spec.batch_size == 1 else chunk
+                    step_start = time.perf_counter()
+                    result = self.run_step(batch)
+                    step_seconds = time.perf_counter() - step_start
+                    if result is None:
+                        continue
+                    self.step_index += 1
+                    stats.steps += 1
+                    stats.losses.append(result["loss"])
+                    stats.lrs.append(result["lr"])
+                    stats.grad_norms.append(result["grad_norm"])
+                    for key, value in result.items():
+                        if key in ("loss", "lr", "grad_norm", "updated") or \
+                                key.endswith("_seconds"):
+                            continue
+                        stats.extras.setdefault(key, []).append(value)
+                    if result["updated"]:
+                        epoch_losses.append(result["loss"])
+                    self._journal_step(result, step_seconds)
+                    if (spec.eval_every
+                            and self.step_index % spec.eval_every == 0):
+                        self._run_eval(stats)
+                epoch_loss = (float(np.mean(epoch_losses))
+                              if epoch_losses else 0.0)
+                stats.epoch_losses.append(epoch_loss)
+                get_registry().histogram(
+                    f"{self._metric_prefix}.epoch_loss").observe(epoch_loss)
+                self.epochs_completed += 1
+                if self._should_stop_early(epoch_loss):
+                    stats.stopped_early = True
+                    break
+        if (spec.eval_at_end and not stats.stopped_early
+                and self.epochs_completed >= spec.epochs):
+            self._run_eval(stats)
+        stats.wall_seconds = time.perf_counter() - train_start
+        get_registry().gauge(
+            f"{self._metric_prefix}.throughput").set(stats.throughput)
+        return stats
+
+    def _journal_step(self, result: Dict[str, float], seconds: float) -> None:
+        if self.journal is None:
+            return
+        fields = {key: value for key, value in result.items()
+                  if key != "updated"}
+        fields["seconds"] = seconds
+        if "tokens" in fields:
+            fields["tokens_per_second"] = (fields["tokens"] / seconds
+                                           if seconds > 0 else 0.0)
+        self.journal.step(self.step_index, **fields)
+
+    def _run_eval(self, stats: TrainStats) -> None:
+        """One mode-restoring evaluation probe."""
+        probe_start = time.perf_counter()
+        with eval_mode(self.task.module):
+            value = self.task.eval_metric()
+        if value is None:
+            return
+        stats.eval_steps.append(self.step_index)
+        stats.eval_values.append(value)
+        if self.journal is not None:
+            self.journal.probe(self.step_index, value,
+                               seconds=time.perf_counter() - probe_start)
+
+    def _should_stop_early(self, epoch_loss: float) -> bool:
+        patience = self.spec.early_stop_patience
+        if patience is None:
+            return False
+        if epoch_loss < self._best_epoch_loss - self.spec.early_stop_min_delta:
+            self._best_epoch_loss = epoch_loss
+            self._epochs_since_improvement = 0
+            return False
+        self._epochs_since_improvement += 1
+        return self._epochs_since_improvement >= patience
+
+    # -- checkpointing -------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Persist module weights, optimizer moments, RNG state and progress."""
+        from repro.train.checkpoint import save_training_state
+
+        save_training_state(directory, self)
+
+    @classmethod
+    def restore(cls, directory: str, task: TrainableTask,
+                spec: Optional[TrainSpec] = None,
+                journal: Optional[RunJournal] = None) -> "Trainer":
+        """Inverse of :meth:`save`; ``task`` must be rebuilt identically
+        (same constructors and seeds) by the caller."""
+        from repro.train.checkpoint import load_training_state
+
+        return load_training_state(directory, task, spec=spec, journal=journal)

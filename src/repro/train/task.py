@@ -1,0 +1,82 @@
+"""The task protocol consumed by the shared training engine.
+
+A :class:`TrainableTask` describes *what* to optimize — the module, the
+training items, and the loss of one item — while :class:`repro.train.Trainer`
+owns *how*: optimizer construction, seeded shuffling, gradient clipping,
+stats, eval hooks, early stopping, journaling and checkpointing.  Both
+pre-training (MLM + MER) and every fine-tuning head implement this protocol,
+so the paper's Adam-with-decay recipe lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn import Module, Tensor
+
+
+@dataclass
+class StepOutput:
+    """Result of one loss evaluation.
+
+    ``loss=None`` means "record a zero-loss step without a parameter update"
+    (pre-training batches can have no masked positions); a task that wants to
+    skip an item entirely returns ``None`` from :meth:`TrainableTask.loss`
+    instead.
+    """
+
+    loss: Optional[Tensor]
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+LossResult = Optional[Union[Tensor, StepOutput]]
+
+
+class TrainableTask:
+    """Base class / protocol for anything the engine can train.
+
+    Subclasses must set :attr:`name` and :attr:`module` and implement
+    :meth:`build_batches` and :meth:`loss`.  ``name`` uses ``/`` separators
+    (e.g. ``"task/column_type"``); the engine derives tracing span names from
+    it directly and metric names by replacing ``/`` with ``.``.
+    """
+
+    #: hierarchical task name, e.g. ``"pretrain"`` or ``"task/column_type"``.
+    name: str = "task"
+    #: the module whose parameters are optimized.
+    module: Module
+
+    def build_batches(self) -> Sequence[Any]:
+        """The list of training items; one item is one optimization step.
+
+        For table-grouped tasks an item is the whole per-table group (so each
+        table is encoded once per step); for instance-level tasks it is a
+        single instance.  Called once per :class:`~repro.train.Trainer`; the
+        engine applies seeded subsampling and per-epoch shuffling on top.
+        """
+        raise NotImplementedError
+
+    def loss(self, batch: Any, rng: np.random.Generator) -> LossResult:
+        """Loss of one item (or, when ``spec.batch_size > 1``, a list of
+        items).  Return ``None`` to skip the item without stepping."""
+        raise NotImplementedError
+
+    def item_size(self, item: Any) -> int:
+        """Number of underlying training instances in ``item``; used by the
+        engine's ``max_items`` subsampling budget."""
+        return 1
+
+    def eval_metric(self) -> Optional[float]:
+        """Periodic evaluation hook (higher is better); ``None`` disables it.
+
+        The engine runs this under restored train/eval mode: whatever mode
+        the module was in before the hook is reinstated afterwards.
+        """
+        return None
+
+    def config_dict(self) -> Optional[Dict[str, Any]]:
+        """Optional config payload recorded in the journal header."""
+        return None

@@ -69,6 +69,39 @@ def test_pretrain_journal_and_report_commands(capsys, tmp_path):
     assert "probe" in captured
 
 
+def test_finetune_command(capsys, tmp_path):
+    from repro.obs import read_journal
+
+    checkpoint = str(tmp_path / "ckpt")
+    journal = str(tmp_path / "finetune.jsonl")
+    state = str(tmp_path / "state")
+    assert main(["pretrain", "--seed", "3", "--tables", "40", "--epochs", "1",
+                 "--out", checkpoint]) == 0
+    assert main(["finetune", "--task", "schema_augmentation",
+                 "--checkpoint", checkpoint, "--seed", "3", "--tables", "40",
+                 "--epochs", "1", "--max-instances", "10",
+                 "--journal", journal, "--save-state", state]) == 0
+    captured = capsys.readouterr().out
+    assert "task: schema_augmentation" in captured
+    assert "epoch 1" in captured
+    assert "test MAP" in captured
+
+    events = read_journal(journal)
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "header"
+    assert "step" in kinds
+    assert events[0]["task"] == "task/schema_augmentation"
+
+    import os
+    assert os.path.exists(os.path.join(state, "trainer.json"))
+    assert os.path.exists(os.path.join(state, "optimizer.npz"))
+
+
+def test_finetune_rejects_unknown_task(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["finetune", "--task", "nope", "--checkpoint", "x"])
+
+
 def test_report_empty_journal_fails(tmp_path, capsys):
     journal = str(tmp_path / "empty.jsonl")
     open(journal, "w").close()
