@@ -16,7 +16,7 @@ from repro.core.batching import collate
 from repro.core.linearize import Linearizer, TableInstance
 from repro.core.model import TURLModel
 from repro.data.table import Table
-from repro.nn import Tensor, no_grad
+from repro.nn import Tensor, eval_mode, no_grad
 from repro.nn.attention import MASKED_LOGIT
 
 
@@ -46,8 +46,7 @@ def attention_map(model: TURLModel, linearizer: Linearizer, table: Table,
         raise IndexError(f"layer {layer} out of range")
     instance = linearizer.encode(table)
     batch = collate([instance])
-    model.eval()
-    with no_grad():
+    with eval_mode(model), no_grad():
         hidden = model.embedding(batch)
         visibility = batch["visibility"]
         for i in range(layer):

@@ -26,6 +26,7 @@ from repro.nn import (
     TransformerEncoder,
     binary_cross_entropy_logits,
     concat,
+    eval_mode,
     no_grad,
     stack,
 )
@@ -119,9 +120,8 @@ class BertStyleRelationExtractor(Module):
 
     def predict(self, instances: Sequence[RelationInstance],
                 dataset: RelationDataset, threshold: float = 0.5) -> List[Set[str]]:
-        self.eval()
         predictions = []
-        with no_grad():
+        with eval_mode(self), no_grad():
             for instance in instances:
                 logits = self.pair_logits(instance).data
                 probabilities = 1.0 / (1.0 + np.exp(-logits))
@@ -139,10 +139,9 @@ class BertStyleRelationExtractor(Module):
 
     def validation_map(self, dataset: RelationDataset,
                        max_instances: int = 40) -> float:
-        self.eval()
         instances = dataset.validation[:max_instances]
         scores = []
-        with no_grad():
+        with eval_mode(self), no_grad():
             for instance in instances:
                 logits = self.pair_logits(instance).data
                 ranked = [dataset.relation_names[j] for j in np.argsort(-logits)]

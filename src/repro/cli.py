@@ -9,6 +9,11 @@ Usage::
     python -m repro.cli probe --checkpoint ckpt/ --tables 300
     python -m repro.cli report --journal run.jsonl       # loss / timing summary
     python -m repro.cli registry                         # experiment index
+    python -m repro.cli lint src tests                   # static analysis
+
+``pretrain`` and ``finetune`` accept ``--sanitize`` to run every training
+step under the autograd sanitizer (NaN/Inf guards, in-place mutation
+detection); seeded results are bit-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -75,7 +80,7 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
             WorldConfig(seed=args.seed).scaled(args.scale),
             SynthesisConfig(seed=args.seed + 1, n_tables=args.tables),
             TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed,
-            journal=journal)
+            journal=journal, sanitize=args.sanitize)
     finally:
         if journal is not None:
             journal.close()
@@ -181,7 +186,8 @@ def _cmd_finetune(args: argparse.Namespace) -> int:
     # The paper's fine-tuning recipe: Adam + linear decay + gradient clipping.
     spec = TrainSpec(epochs=args.epochs, learning_rate=args.learning_rate,
                      schedule="linear", gradient_clip=model.config.gradient_clip,
-                     seed=args.seed, max_items=args.max_instances)
+                     seed=args.seed, max_items=args.max_instances,
+                     sanitize=args.sanitize)
     journal = None
     if args.journal:
         try:
@@ -258,6 +264,17 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.__main__ import main as lint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.invariants:
+        argv.append("--invariants")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="TURL reproduction CLI")
@@ -284,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--out", required=True)
     pretrain.add_argument("--journal", default=None,
                           help="write a JSONL run journal to this path")
+    pretrain.add_argument("--sanitize", action="store_true",
+                          help="run steps under the autograd sanitizer")
     pretrain.set_defaults(handler=_cmd_pretrain)
 
     finetune = commands.add_parser(
@@ -302,6 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a JSONL run journal to this path")
     finetune.add_argument("--save-state", default=None,
                           help="write a resumable training checkpoint here")
+    finetune.add_argument("--sanitize", action="store_true",
+                          help="run steps under the autograd sanitizer")
     finetune.set_defaults(handler=_cmd_finetune)
 
     probe = commands.add_parser("probe", help="run the recovery probe")
@@ -318,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     registry = commands.add_parser("registry", help="print the experiment index")
     registry.set_defaults(handler=_cmd_registry)
+
+    lint = commands.add_parser("lint", help="run the repo's static analyzer")
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--invariants", action="store_true",
+                      help="also run runtime structural invariant checks")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -67,8 +67,38 @@ class TURLConfig:
     def validate(self) -> None:
         if self.dim % self.num_heads != 0:
             raise ValueError("dim must be divisible by num_heads")
-        for name in ("mlm_probability", "mer_probability", "mer_keep_fraction",
-                     "mer_full_mask_fraction", "mer_random_entity_fraction"):
+        for name in ("mlm_probability", "mlm_mask_fraction",
+                     "mlm_random_fraction", "mer_probability",
+                     "mer_keep_fraction", "mer_full_mask_fraction",
+                     "mer_random_entity_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.mlm_mask_fraction + self.mlm_random_fraction > 1.0:
+            raise ValueError(
+                "mlm_mask_fraction + mlm_random_fraction must be <= 1, got "
+                f"{self.mlm_mask_fraction} + {self.mlm_random_fraction}")
+        split = self.mer_corruption_split()
+        total = sum(split.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"MER corruption split must sum to 1, got {total!r} "
+                f"from {split!r}")
+
+    def mer_corruption_split(self) -> dict:
+        """Absolute fraction of MER-selected cells per corruption outcome.
+
+        The config stores the split hierarchically (keep, then full-mask of
+        the remainder, then noise of the mention-kept rest); this flattens it
+        so the invariant "outcomes partition the selected cells" is checkable.
+        """
+        keep = self.mer_keep_fraction
+        full_mask = (1.0 - keep) * self.mer_full_mask_fraction
+        mention_kept = (1.0 - keep) * (1.0 - self.mer_full_mask_fraction)
+        noised = mention_kept * self.mer_random_entity_fraction
+        return {
+            "keep": keep,
+            "full_mask": full_mask,
+            "mention_kept_masked": mention_kept - noised,
+            "mention_kept_noised": noised,
+        }

@@ -69,7 +69,8 @@ def build_context(world_config: WorldConfig = WorldConfig(),
                   vocab_size: int = 4000,
                   entity_min_frequency: int = 2,
                   seed: int = 0,
-                  journal: Optional[RunJournal] = None) -> TURLContext:
+                  journal: Optional[RunJournal] = None,
+                  sanitize: bool = False) -> TURLContext:
     """Build the full pipeline: world → corpus → vocabularies → pre-training.
 
     Set ``pretrain_epochs=0`` to skip pre-training (random initialization).
@@ -94,7 +95,8 @@ def build_context(world_config: WorldConfig = WorldConfig(),
     if pretrain_epochs > 0:
         instances = [linearizer.encode(table) for table in splits.train]
         pretrainer = Pretrainer(model, instances, candidate_builder,
-                                model_config, seed=seed, journal=journal)
+                                model_config, seed=seed, journal=journal,
+                                sanitize=sanitize)
         # With a journal attached, finish with the recovery probe so the
         # journal carries a probe event; the probe runs under no_grad with
         # its own fixed rng, so the trained weights are unaffected.

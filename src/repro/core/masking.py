@@ -51,6 +51,7 @@ class MaskingPolicy:
     """Applies the paper's masking mechanisms to collated batches."""
 
     def __init__(self, config: TURLConfig, vocab_size: int, entity_vocab_size: int):
+        config.validate()
         self.config = config
         self.vocab_size = vocab_size
         self.entity_vocab_size = entity_vocab_size

@@ -105,7 +105,8 @@ class Pretrainer:
                  candidate_builder: CandidateBuilder,
                  config: Optional[TURLConfig] = None, seed: int = 0,
                  use_visibility: bool = True,
-                 journal: Optional[RunJournal] = None):
+                 journal: Optional[RunJournal] = None,
+                 sanitize: bool = False):
         self.model = model
         self.instances = list(instances)
         self.candidates = candidate_builder
@@ -117,6 +118,7 @@ class Pretrainer:
         self.use_visibility = use_visibility
         self.optimizer = None
         self.journal = journal
+        self.sanitize = sanitize
 
     def _spec(self, n_epochs: int = 1,
               eval_every: Optional[int] = None) -> TrainSpec:
@@ -128,7 +130,7 @@ class Pretrainer:
                          gradient_clip=self.config.gradient_clip,
                          batch_size=self.config.batch_size,
                          seed=self.seed, eval_every=eval_every,
-                         eval_at_end=True)
+                         eval_at_end=True, sanitize=self.sanitize)
 
     def _ensure_optimizer(self, total_steps: int) -> None:
         if self.optimizer is None:

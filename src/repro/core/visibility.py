@@ -14,6 +14,8 @@ aggregate information only from structurally related elements.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.core.linearize import (
@@ -66,3 +68,58 @@ def visibility_from_structure(kinds: np.ndarray, rows: np.ndarray,
     # Self-visibility always holds.
     np.fill_diagonal(visible, True)
     return visible
+
+
+def verify_visibility(visible: np.ndarray, kinds: np.ndarray,
+                      rows: np.ndarray, cols: np.ndarray) -> List[str]:
+    """Check a visibility matrix against the paper's structural invariants.
+
+    Returns a list of human-readable failure strings (empty when the matrix
+    is valid).  Used by ``python -m repro.lint --invariants`` and by the
+    structural test suite; it re-derives each invariant element-wise rather
+    than calling :func:`visibility_from_structure`, so a bug in the
+    vectorized construction cannot hide itself.
+    """
+    visible = np.asarray(visible)
+    kinds = np.asarray(kinds)
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    n = len(kinds)
+    failures: List[str] = []
+
+    if visible.shape != (n, n):
+        return [f"visibility shape {visible.shape} != ({n}, {n})"]
+    if not np.array_equal(visible, visible.T):
+        failures.append("visibility matrix is not symmetric")
+    if not np.all(np.diagonal(visible)):
+        failures.append("diagonal (self-visibility) is not all True")
+
+    is_global = (kinds == KIND_CAPTION) | (kinds == KIND_TOPIC)
+    is_header = kinds == KIND_HEADER
+    is_cell = kinds == KIND_CELL
+    for i in np.flatnonzero(is_global):
+        if not (np.all(visible[i, :]) and np.all(visible[:, i])):
+            failures.append(
+                f"caption/topic element {i} is not globally reachable")
+    for i in np.flatnonzero(is_header):
+        for j in np.flatnonzero(is_header):
+            if not visible[i, j]:
+                failures.append(f"headers {i} and {j} are not mutually "
+                                "visible")
+        for j in np.flatnonzero(is_cell):
+            expected = cols[i] == cols[j]
+            if bool(visible[i, j]) != expected:
+                failures.append(
+                    f"header {i} / cell {j} visibility is "
+                    f"{bool(visible[i, j])}, expected {expected} "
+                    f"(cols {cols[i]} vs {cols[j]})")
+    for i in np.flatnonzero(is_cell):
+        for j in np.flatnonzero(is_cell):
+            if i == j:
+                continue
+            expected = rows[i] == rows[j] or cols[i] == cols[j]
+            if bool(visible[i, j]) != expected:
+                failures.append(
+                    f"cells {i} and {j} visibility is "
+                    f"{bool(visible[i, j])}, expected {expected}")
+    return failures

@@ -30,7 +30,7 @@ from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
 from repro.data.table import Table
-from repro.nn import Adam, Linear, Module, Tensor, cross_entropy_logits, no_grad
+from repro.nn import Adam, Linear, Module, Tensor, cross_entropy_logits, eval_mode, no_grad
 
 _NUMERIC_RE = re.compile(r"-?\d+(?:[.,]\d+)?")
 
@@ -190,8 +190,7 @@ class TURLValuePredictor(Module):
         return epoch_losses
 
     def predict_bin(self, instance: NumericInstance) -> int:
-        self.model.eval()
-        with no_grad():
+        with eval_mode(self.model), no_grad():
             return int(self.logits(instance).data.argmax())
 
     def accuracy(self, instances: Sequence[NumericInstance]) -> float:
@@ -205,9 +204,8 @@ class TURLValuePredictor(Module):
         """Accuracy allowing off-by-one bins (ordinal tolerance)."""
         if not instances:
             return 0.0
-        self.model.eval()
         hits = 0
-        with no_grad():
+        with eval_mode(self.model), no_grad():
             for instance in instances:
                 predicted = int(self.logits(instance).data.argmax())
                 truth = self.binner.transform(instance.value)

@@ -24,6 +24,7 @@ from repro.nn import (
     Tensor,
     TransformerEncoder,
     binary_cross_entropy_logits,
+    eval_mode,
     no_grad,
 )
 from repro.tasks.column_type import ColumnInstance, ColumnTypeDataset
@@ -153,11 +154,10 @@ class TapasStyleColumnTyper(Module):
 
     def predict(self, instances: Sequence[ColumnInstance],
                 dataset: ColumnTypeDataset, threshold: float = 0.5) -> List[Set[str]]:
-        self.eval()
         predictions: List[Set[str]] = []
-        with no_grad():
+        with eval_mode(self), no_grad():
             for instance in instances:
-                logits = self.column_logits(instance.table, [instance.col]).data[0]
+                logits = self.column_logits(instance.table, [instance.col]).numpy()[0]
                 probabilities = 1.0 / (1.0 + np.exp(-logits))
                 predicted = {dataset.type_names[j]
                              for j in np.where(probabilities >= threshold)[0]}

@@ -1,0 +1,62 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit status is 0 when no violations (suppressions with reasons are fine)
+and 1 otherwise, so the command gates CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.invariants import run_invariant_checks
+from repro.lint.report import format_json, format_text
+from repro.lint.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis for the repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--invariants", action="store_true",
+                        help="also run runtime structural invariant checks")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.name}")
+            print(f"        {rule.summary}")
+            print(f"        fix: {rule.hint}")
+        return 0
+
+    result = lint_paths(args.paths)
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(result))
+
+    exit_code = result.exit_code
+    if args.invariants:
+        failures = run_invariant_checks()
+        if failures:
+            exit_code = 1
+            print("invariant failures:")
+            for failure in failures:
+                print(f"  {failure}")
+        else:
+            print("runtime invariants: all passed")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

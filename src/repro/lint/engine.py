@@ -1,0 +1,156 @@
+"""Lint driver: file discovery, suppression handling, result aggregation.
+
+The engine parses each file once with :mod:`ast`, applies the rules from
+:mod:`repro.lint.rules` scoped by the file's dotted module name, then filters
+violations through inline suppressions of the form::
+
+    risky_line()  # lint: disable=TEN001(read-only probe under no_grad)
+
+A suppression applies to its own line, or — when written on a comment-only
+line — to the next line.  The reason in parentheses is mandatory; a
+suppression without one is itself reported (rule LNT000).  Suppressed
+violations are kept and counted so the report can surface the whitelist.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.rules import Violation, check_file
+
+SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z]+\d+)\s*(?:\(([^)]*)\))?")
+
+
+@dataclass(frozen=True)
+class SuppressedViolation:
+    """A violation silenced by an inline whitelist entry."""
+
+    violation: Violation
+    reason: str
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    files_checked: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[SuppressedViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def extend(self, other: "LintResult") -> None:
+        self.files_checked += other.files_checked
+        self.violations.extend(other.violations)
+        self.suppressed.extend(other.suppressed)
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for ``path`` (anchored at ``repro`` or ``tests``).
+
+    Falls back to the stem for files outside both trees; ``__init__.py``
+    maps to its package.
+    """
+    parts = list(PurePath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _scan_suppressions(source: str) -> Tuple[Dict[int, List[Tuple[str, str]]],
+                                             List[Tuple[int, str]]]:
+    """Map line numbers to (rule_id, reason) suppressions.
+
+    Returns ``(by_line, missing_reason)`` where ``missing_reason`` lists
+    suppressions written without a parenthesised reason.
+    """
+    by_line: Dict[int, List[Tuple[str, str]]] = {}
+    missing: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in SUPPRESS_RE.finditer(line):
+            rule_id, reason = match.group(1), (match.group(2) or "").strip()
+            if not reason:
+                missing.append((lineno, rule_id))
+                continue
+            target = lineno + 1 if line.lstrip().startswith("#") else lineno
+            by_line.setdefault(target, []).append((rule_id, reason))
+    return by_line, missing
+
+
+def lint_source(source: str, path: str) -> LintResult:
+    """Lint one file's source text (the unit the rule tests exercise)."""
+    module = module_name(path)
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        result.violations.append(Violation(
+            "LNT001", path, error.lineno or 0, error.offset or 0,
+            f"syntax error: {error.msg}"))
+        return result
+
+    suppressions, missing = _scan_suppressions(source)
+    for lineno, rule_id in missing:
+        result.violations.append(Violation(
+            "LNT000", path, lineno, 0,
+            f"suppression of {rule_id} has no reason — write "
+            f"`# lint: disable={rule_id}(reason)`"))
+
+    for violation in check_file(tree, path, module):
+        reasons = [reason for rule_id, reason
+                   in suppressions.get(violation.line, [])
+                   if rule_id == violation.rule_id]
+        if reasons:
+            result.suppressed.append(
+                SuppressedViolation(violation, reasons[0]))
+        else:
+            result.violations.append(violation)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return result
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+                files.extend(os.path.join(root, name)
+                             for name in sorted(names)
+                             if name.endswith(".py"))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Sequence[str]) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    result = LintResult()
+    for file_path in discover(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result.extend(lint_source(source, file_path))
+    return result

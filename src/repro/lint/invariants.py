@@ -1,0 +1,109 @@
+"""Runtime structural invariants that complement the static rules.
+
+Static analysis can prove code *shape*; these checks prove the data
+structures the trainer consumes.  ``run_invariant_checks`` builds visibility
+matrices (handcrafted and randomized-but-seeded) and validates them with
+:func:`repro.core.visibility.verify_visibility`, and exercises
+:meth:`repro.config.TURLConfig.validate` on both good and deliberately bad
+masking configurations.  It returns a list of failure strings — empty means
+every invariant holds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.config import TURLConfig
+from repro.core.linearize import (
+    KIND_CAPTION,
+    KIND_CELL,
+    KIND_HEADER,
+    KIND_TOPIC,
+)
+from repro.core.visibility import verify_visibility, visibility_from_structure
+
+
+def _check_visibility() -> List[str]:
+    failures: List[str] = []
+
+    # Handcrafted 2x2 table: caption token, topic entity, two headers, four
+    # entity cells.  Row/col of -1 marks "not applicable" for metadata.
+    kinds = np.array([KIND_CAPTION, KIND_TOPIC,
+                      KIND_HEADER, KIND_HEADER,
+                      KIND_CELL, KIND_CELL, KIND_CELL, KIND_CELL])
+    rows = np.array([-1, -1, -1, -1, 0, 0, 1, 1])
+    cols = np.array([-1, -1, 0, 1, 0, 1, 0, 1])
+    visible = visibility_from_structure(kinds, rows, cols)
+    failures.extend(f"handcrafted table: {message}" for message in
+                    verify_visibility(visible, kinds, rows, cols))
+
+    # Seeded random structures: the vectorized builder must satisfy the
+    # element-wise re-derivation for arbitrary layouts.
+    rng = np.random.default_rng(7)
+    for trial in range(3):
+        n_rows = int(rng.integers(1, 5))
+        n_cols = int(rng.integers(1, 4))
+        n_caption = int(rng.integers(0, 4))
+        kinds_list = ([KIND_CAPTION] * n_caption + [KIND_TOPIC]
+                      + [KIND_HEADER] * n_cols)
+        rows_list = [-1] * (n_caption + 1 + n_cols)
+        cols_list = [-1] * (n_caption + 1) + list(range(n_cols))
+        for row in range(n_rows):
+            for col in range(n_cols):
+                if rng.random() < 0.7:
+                    kinds_list.append(KIND_CELL)
+                    rows_list.append(row)
+                    cols_list.append(col)
+        kinds = np.array(kinds_list)
+        rows = np.array(rows_list)
+        cols = np.array(cols_list)
+        visible = visibility_from_structure(kinds, rows, cols)
+        failures.extend(f"seeded table {trial}: {message}" for message in
+                        verify_visibility(visible, kinds, rows, cols))
+
+    # Tampering must be caught: break symmetry on the handcrafted matrix.
+    kinds = np.array([KIND_TOPIC, KIND_HEADER, KIND_CELL])
+    rows = np.array([-1, -1, 0])
+    cols = np.array([-1, 0, 0])
+    broken = visibility_from_structure(kinds, rows, cols)
+    broken[1, 2] = False
+    if not verify_visibility(broken, kinds, rows, cols):
+        failures.append("verify_visibility accepted an asymmetric matrix")
+    return failures
+
+
+def _check_masking_config() -> List[str]:
+    failures: List[str] = []
+    try:
+        config = TURLConfig()
+        config.validate()
+        split = config.mer_corruption_split()
+        total = sum(split.values())
+        if abs(total - 1.0) > 1e-9:
+            failures.append(
+                f"default MER corruption split sums to {total!r}, not 1")
+    except ValueError as error:
+        failures.append(f"default TURLConfig failed validation: {error}")
+
+    bad = TURLConfig(mlm_mask_fraction=0.8, mlm_random_fraction=0.3)
+    try:
+        bad.validate()
+        failures.append("validate() accepted mlm_mask_fraction + "
+                        "mlm_random_fraction > 1")
+    except ValueError:
+        pass
+
+    bad = TURLConfig(mer_keep_fraction=1.5)
+    try:
+        bad.validate()
+        failures.append("validate() accepted mer_keep_fraction > 1")
+    except ValueError:
+        pass
+    return failures
+
+
+def run_invariant_checks() -> List[str]:
+    """Run every structural invariant; return failure strings (empty = ok)."""
+    return _check_visibility() + _check_masking_config()

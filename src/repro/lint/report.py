@@ -1,0 +1,48 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON.
+
+The text report is the CI artifact: one line per violation with its fix
+hint, a whitelist section listing every honored suppression *with its
+reason*, and a one-line summary whose suppression count is what the CI lint
+job prints.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def format_text(result: LintResult) -> str:
+    lines = []
+    for violation in result.violations:
+        lines.append(violation.format())
+        lines.append(f"    hint: {violation.hint}")
+    if result.suppressed:
+        lines.append("whitelisted suppressions:")
+        for entry in result.suppressed:
+            v = entry.violation
+            lines.append(f"  {v.path}:{v.line}: {v.rule_id} — {entry.reason}")
+    lines.append(
+        f"{result.files_checked} files checked: "
+        f"{len(result.violations)} violations, "
+        f"{len(result.suppressed)} suppressions whitelisted")
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    payload = {
+        "files_checked": result.files_checked,
+        "violations": [
+            {"rule": v.rule_id, "path": v.path, "line": v.line,
+             "col": v.col, "message": v.message, "hint": v.hint}
+            for v in result.violations
+        ],
+        "suppressed": [
+            {"rule": e.violation.rule_id, "path": e.violation.path,
+             "line": e.violation.line, "reason": e.reason}
+            for e in result.suppressed
+        ],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2)

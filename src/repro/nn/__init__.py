@@ -13,6 +13,13 @@ end-to-end without external dependencies.
 """
 
 from repro.nn.tensor import Tensor, Parameter, concat, stack, no_grad
+from repro.nn.sanitize import (
+    SanitizerError,
+    assert_finite_module,
+    gradcheck,
+    sanitize_ops,
+    sanitizer_enabled,
+)
 from repro.nn.layers import (
     Module,
     Linear,
@@ -39,6 +46,11 @@ __all__ = [
     "concat",
     "stack",
     "no_grad",
+    "SanitizerError",
+    "sanitize_ops",
+    "sanitizer_enabled",
+    "assert_finite_module",
+    "gradcheck",
     "Module",
     "Linear",
     "Embedding",

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.sanitize import SANITIZER, SanitizerError
 from repro.nn.tensor import Parameter, Tensor
 
 
@@ -100,6 +101,14 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if SANITIZER.enabled:
+            # Attribute sanitizer failures to the module path: each enclosing
+            # module prepends its class name, so a NaN raised deep inside an
+            # op surfaces as e.g. "TURLModel: TransformerBlock: ...".
+            try:
+                return self.forward(*args, **kwargs)
+            except SanitizerError as error:
+                raise SanitizerError(f"{type(self).__name__}: {error}") from None
         return self.forward(*args, **kwargs)
 
 

@@ -1,0 +1,198 @@
+"""Opt-in autograd sanitizer and finite-difference gradient checker.
+
+The training engine's correctness guarantees (bit-identical seeded runs,
+save→resume equality) assume that nothing mutates an array while the autograd
+tape still references it, that no op silently produces NaN/Inf, and that
+every accumulated gradient has the shape of the tensor it belongs to.  This
+module makes those assumptions *checkable* at runtime:
+
+- :func:`sanitize_ops` — context manager that arms per-op guards inside
+  :class:`~repro.nn.tensor.Tensor`: every recorded op snapshots a version
+  counter and an Adler-32 checksum of each parent array, and ``backward()``
+  verifies them before running the op's backward closure, raising
+  :class:`SanitizerError` with the *creating op's name* when a tape-referenced
+  array was rebound or mutated in place.  Op outputs and flowing gradients are
+  also checked for NaN/Inf, gradient shapes are asserted against data shapes,
+  and the topological sweep detects double visits.
+- :func:`assert_finite_module` — NaN/Inf sweep over a module's parameters and
+  gradients (the engine runs it after each optimizer step under
+  ``TrainSpec(sanitize=True)``).
+- :func:`gradcheck` — central finite differences against the analytic
+  backward pass, used by ``tests/nn/test_gradcheck.py`` to verify every op in
+  :mod:`repro.nn.tensor` and every layer in :mod:`repro.nn.layers`.
+
+When the sanitizer is off (the default) the only cost is one attribute read
+per op, so seeded results are bit-identical with sanitizing on or off: the
+guards observe the computation, they never alter it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import zlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class SanitizerError(RuntimeError):
+    """An autograd invariant was violated while the sanitizer was armed."""
+
+
+class _SanitizerState:
+    """Process-global sanitizer switch (mutated only by :func:`sanitize_ops`)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: The switch :mod:`repro.nn.tensor` consults on every op (attribute read
+#: only, so the off path stays effectively free).
+SANITIZER = _SanitizerState()
+
+
+def sanitizer_enabled() -> bool:
+    """Whether op-level guards are currently armed."""
+    return SANITIZER.enabled
+
+
+@contextlib.contextmanager
+def sanitize_ops():
+    """Arm the autograd sanitizer inside the block (re-entrant)."""
+    previous = SANITIZER.enabled
+    SANITIZER.enabled = True
+    try:
+        yield
+    finally:
+        SANITIZER.enabled = previous
+
+
+def checksum(array: np.ndarray) -> int:
+    """Cheap content fingerprint used to detect in-place mutation."""
+    return zlib.adler32(array.tobytes())
+
+
+def op_name(backward: Optional[Callable]) -> str:
+    """Derive the creating op's name from its backward closure.
+
+    Backward closures are defined inside the op methods of ``Tensor`` (and the
+    module-level ``concat`` / ``stack``), so the qualname looks like
+    ``Tensor.__add__.<locals>.backward``; the segment before ``<locals>`` is
+    the op.
+    """
+    if backward is None:
+        return "<leaf>"
+    qualname = getattr(backward, "__qualname__", "")
+    head = qualname.split(".<locals>")[0]
+    return head.split(".")[-1] or "<unknown>"
+
+
+def assert_finite_array(array: np.ndarray, what: str) -> None:
+    """Raise :class:`SanitizerError` if ``array`` contains NaN or Inf."""
+    if not np.all(np.isfinite(array)):
+        bad = int(array.size - np.isfinite(array).sum())
+        raise SanitizerError(
+            f"non-finite values in {what}: {bad}/{array.size} elements are NaN/Inf")
+
+
+def assert_finite_module(module, context: str = "") -> None:
+    """NaN/Inf sweep over every parameter (data and gradient) of ``module``.
+
+    The training engine calls this after each optimizer step when
+    ``TrainSpec(sanitize=True)``, attributing blow-ups to the parameter name.
+    """
+    prefix = f"{context}: " if context else ""
+    for name, parameter in module.named_parameters():
+        assert_finite_array(parameter.data, f"{prefix}parameter '{name}'")
+        if parameter.grad is not None:
+            assert_finite_array(parameter.grad, f"{prefix}gradient of '{name}'")
+
+
+def gradcheck(fn: Callable, inputs: Sequence, params: Iterable = (),
+              eps: float = 1e-6, tol: float = 1e-6, seed: int = 0,
+              raise_on_error: bool = True) -> float:
+    """Verify ``fn``'s analytic gradients with central finite differences.
+
+    ``fn`` is called as ``fn(*tensors)`` where each input is wrapped in a
+    gradient-requiring :class:`~repro.nn.tensor.Tensor`; it must be
+    deterministic across calls (re-seed any RNG it uses internally).  The
+    (possibly non-scalar) output is reduced against a fixed random projection
+    ``v`` so a single backward pass covers every output element, and each
+    element of every input — plus every :class:`Parameter` passed via
+    ``params`` — is perturbed by ``±eps``.
+
+    Returns the maximum relative error
+    ``|analytic − numeric| / max(1, |analytic|, |numeric|)`` over all
+    elements; raises :class:`SanitizerError` when it exceeds ``tol`` (unless
+    ``raise_on_error=False``).
+    """
+    from repro.nn.tensor import Tensor, no_grad
+
+    tensors = []
+    for value in inputs:
+        tensor = value if isinstance(value, Tensor) else Tensor(
+            np.asarray(value, dtype=np.float64))
+        tensor.requires_grad = True
+        tensors.append(tensor)
+    leaves = tensors + [p for p in params]
+
+    output = fn(*tensors)
+    rng = np.random.default_rng(seed)
+    projection = rng.normal(size=output.shape) if output.shape else np.ones(())
+    for leaf in leaves:
+        leaf.grad = None
+    scalar = (output * Tensor(projection)).sum()
+    scalar.backward()
+    analytic = [leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+                for leaf in leaves]
+
+    def evaluate() -> float:
+        with no_grad():
+            return float((fn(*tensors).data * projection).sum())
+
+    max_error = 0.0
+    worst = ""
+    for position, (leaf, grad) in enumerate(zip(leaves, analytic)):
+        data = leaf.data
+        indices = np.ndindex(data.shape) if data.shape else [()]
+        for index in indices:
+            original = data[index]
+            data[index] = original + eps
+            plus = evaluate()
+            data[index] = original - eps
+            minus = evaluate()
+            data[index] = original
+            numeric = (plus - minus) / (2.0 * eps)
+            value = float(grad[index]) if grad.shape else float(grad)
+            error = abs(value - numeric) / max(1.0, abs(value), abs(numeric))
+            if error > max_error:
+                max_error = error
+                worst = (f"leaf {position} index {index}: "
+                         f"analytic {value:.3e} vs numeric {numeric:.3e}")
+    if raise_on_error and max_error > tol:
+        raise SanitizerError(
+            f"gradcheck failed: max relative error {max_error:.3e} > {tol:.1e} "
+            f"({worst})")
+    return max_error
+
+
+def record_tape_guard(parents: Tuple) -> Tuple:
+    """Snapshot ``(parent, version, checksum)`` for each parent tensor."""
+    return tuple((parent, parent._version, checksum(parent.data))
+                 for parent in parents)
+
+
+def verify_tape_guard(guard: Tuple, op: str) -> None:
+    """Raise if any guarded parent array changed since the op was recorded."""
+    for parent, version, fingerprint in guard:
+        if parent._version != version:
+            raise SanitizerError(
+                f"array feeding op '{op}' was reassigned (version {version} -> "
+                f"{parent._version}) while still referenced by the tape; "
+                "finish backward() before updating parameters")
+        if checksum(parent.data) != fingerprint:
+            raise SanitizerError(
+                f"array feeding op '{op}' was mutated in place while still "
+                "referenced by the tape; backward() would use stale values")

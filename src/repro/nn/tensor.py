@@ -18,6 +18,15 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.sanitize import (
+    SANITIZER,
+    SanitizerError,
+    assert_finite_array,
+    op_name,
+    record_tape_guard,
+    verify_tape_guard,
+)
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
 # Global switch used by ``no_grad`` to disable graph construction during
@@ -69,7 +78,8 @@ class Tensor:
         Whether gradients should be accumulated into ``self.grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("_data", "grad", "requires_grad", "_backward", "_parents",
+                 "_version", "_op", "_tape_guard")
 
     def __init__(
         self,
@@ -80,11 +90,31 @@ class Tensor:
     ):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self._version = 0
+        self._data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
+        self._op: Optional[str] = None
+        self._tape_guard = None
+
+    @property
+    def data(self) -> np.ndarray:
+        """The wrapped array.
+
+        Rebinding ``tensor.data`` bumps a per-tensor version counter so the
+        opt-in sanitizer (:mod:`repro.nn.sanitize`) can detect updates to
+        arrays the autograd tape still references.  Raw ``.data`` indexing or
+        assignment outside :mod:`repro.nn` silently detaches gradients and is
+        rejected by lint rule TEN001.
+        """
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -130,17 +160,26 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if SANITIZER.enabled:
+            assert_finite_array(data, f"output of op '{op_name(backward)}'")
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         out = Tensor(data, requires_grad=True)
         out._parents = tuple(parents)
         out._backward = backward
+        if SANITIZER.enabled:
+            out._op = op_name(backward)
+            out._tape_guard = record_tape_guard(out._parents)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
+        if SANITIZER.enabled and grad.shape != self._data.shape:
+            raise SanitizerError(
+                f"gradient shape {grad.shape} != data shape {self._data.shape} "
+                f"for tensor created by op '{self._op or '<leaf>'}'")
         if self.grad is None:
             self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
         else:
@@ -158,6 +197,11 @@ class Tensor:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar output")
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=np.float64)
+        sanitizing = SANITIZER.enabled
+        if sanitizing and grad.shape != self._data.shape:
+            raise SanitizerError(
+                f"backward() gradient shape {grad.shape} != output shape "
+                f"{self._data.shape}")
 
         # Topological order over the graph reachable from self.
         order: list[Tensor] = []
@@ -175,10 +219,19 @@ class Tensor:
             for parent in node._parents:
                 if id(parent) not in visited:
                     stack.append((parent, False))
+        if sanitizing and len(order) != len({id(node) for node in order}):
+            raise SanitizerError(
+                "topological sweep visited a node twice; the tape is corrupt")
 
         self._accumulate(grad)
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
+                if sanitizing:
+                    if node._tape_guard is not None:
+                        verify_tape_guard(node._tape_guard, node._op or "<unknown>")
+                    assert_finite_array(
+                        node.grad,
+                        f"gradient flowing into op '{node._op or '<leaf>'}'")
                 node._backward(node.grad)
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ Usage::
     print(tracer.report())
 """
 
+from repro.obs.clock import perf_counter, wall_time
 from repro.obs.journal import (
     EVENT_HEADER,
     EVENT_PROBE,
@@ -62,6 +63,8 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "perf_counter",
+    "wall_time",
     "Counter",
     "Gauge",
     "Histogram",

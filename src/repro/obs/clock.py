@@ -1,0 +1,21 @@
+"""The repo's single gateway to the system clocks.
+
+Lint rule CLK001 forbids ``time.time()`` / ``time.perf_counter()`` /
+``datetime.now()`` everywhere outside ``repro.obs``: seeded compute must be
+clock-free so results are reproducible, and all timing flows through these
+two functions so instrumentation has one choke point.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the epoch (for journal timestamps)."""
+    return time.time()
+
+
+def perf_counter() -> float:
+    """Monotonic high-resolution counter (for durations)."""
+    return time.perf_counter()

@@ -271,10 +271,11 @@ class TURLEntityLinker(Module):
             vocab_ids = np.asarray(
                 [self.linearizer.entity_vocab.id_of(c) for c in candidates],
                 dtype=np.int64)
-            # Detached: the pre-trained co-occurrence knowledge is consumed
-            # as a feature, not re-trained (re-training it memorizes the
-            # fine-tuning mentions and destroys generalization).
-            vectors = Tensor(self.model.embedding.entity.weight.data[vocab_ids])
+            # Deliberately frozen: the pre-trained co-occurrence knowledge is
+            # consumed as a feature, not re-trained (re-training it memorizes
+            # the fine-tuning mentions and destroys generalization).  detach()
+            # severs the tape on purpose; the gather itself stays a tensor op.
+            vectors = self.model.embedding.entity.weight.detach().take_rows(vocab_ids)
             mer = (vectors @ self.model.mer_project(cell_hidden).reshape(-1, 1))
             logits = logits + self.coherence_weight * (mer.reshape(-1) * self._mer_scale)
         return logits

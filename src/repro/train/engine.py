@@ -23,15 +23,23 @@ training progress (which is what makes checkpoint resume exact).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn import Adam, ConstantSchedule, LinearDecaySchedule, clip_grad_norm, eval_mode
+from repro.nn import (
+    Adam,
+    ConstantSchedule,
+    LinearDecaySchedule,
+    assert_finite_module,
+    clip_grad_norm,
+    eval_mode,
+    sanitize_ops,
+)
 from repro.nn.tensor import Parameter
 from repro.obs import RunJournal, get_registry, trace
+from repro.obs.clock import perf_counter
 from repro.train.task import StepOutput, TrainableTask
 
 SCHEDULES = ("constant", "linear")
@@ -60,6 +68,10 @@ class TrainSpec:
     eval_at_end: bool = False
     early_stop_patience: Optional[int] = None
     early_stop_min_delta: float = 0.0
+    #: run every optimization step under the autograd sanitizer
+    #: (:func:`repro.nn.sanitize_ops`).  Observation-only: seeded results are
+    #: bit-identical with this on or off.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULES:
@@ -211,12 +223,22 @@ class Trainer:
         dictionary with the loss, any task extras, per-phase timings, the
         pre-clip gradient norm and the applied learning rate.
         """
+        if self.spec.sanitize:
+            with sanitize_ops():
+                result = self._run_step_inner(batch)
+            if result is not None and result.get("updated"):
+                assert_finite_module(self.task.module,
+                                     context="after optimizer step")
+            return result
+        return self._run_step_inner(batch)
+
+    def _run_step_inner(self, batch: Any) -> Optional[Dict[str, float]]:
         spec, task = self.spec, self.task
         with trace(f"{task.name}/step"):
-            phase_start = time.perf_counter()
+            phase_start = perf_counter()
             with trace(f"{task.name}/step/forward"):
                 output = task.loss(batch, self.rng)
-            forward_seconds = time.perf_counter() - phase_start
+            forward_seconds = perf_counter() - phase_start
             if output is None:
                 return None
             if not isinstance(output, StepOutput):
@@ -229,7 +251,7 @@ class Trainer:
 
             optimizer = self._ensure_optimizer()
             task.module.zero_grad()
-            phase_start = time.perf_counter()
+            phase_start = perf_counter()
             with trace(f"{task.name}/step/backward"):
                 output.loss.backward()
                 if spec.gradient_clip is not None:
@@ -239,12 +261,12 @@ class Trainer:
                     grad_norm = _grad_norm(optimizer.parameters)
                 else:
                     grad_norm = 0.0
-            timings["backward_seconds"] = time.perf_counter() - phase_start
+            timings["backward_seconds"] = perf_counter() - phase_start
             lr = optimizer.schedule(optimizer.step_count)
-            phase_start = time.perf_counter()
+            phase_start = perf_counter()
             with trace(f"{task.name}/step/optimizer"):
                 optimizer.step()
-            timings["optimizer_seconds"] = time.perf_counter() - phase_start
+            timings["optimizer_seconds"] = perf_counter() - phase_start
             loss_value = output.loss.item()
 
             registry = get_registry()
@@ -277,7 +299,7 @@ class Trainer:
         module = self.task.module
         module.train()
         spec = self.spec
-        train_start = time.perf_counter()
+        train_start = perf_counter()
         with trace(f"{self.task.name}/train"):
             while self.epochs_completed < target:
                 order = self.rng.permutation(len(items))
@@ -286,9 +308,9 @@ class Trainer:
                     chunk = [items[int(i)]
                              for i in order[start:start + spec.batch_size]]
                     batch = chunk[0] if spec.batch_size == 1 else chunk
-                    step_start = time.perf_counter()
+                    step_start = perf_counter()
                     result = self.run_step(batch)
-                    step_seconds = time.perf_counter() - step_start
+                    step_seconds = perf_counter() - step_start
                     if result is None:
                         continue
                     self.step_index += 1
@@ -319,7 +341,7 @@ class Trainer:
         if (spec.eval_at_end and not stats.stopped_early
                 and self.epochs_completed >= spec.epochs):
             self._run_eval(stats)
-        stats.wall_seconds = time.perf_counter() - train_start
+        stats.wall_seconds = perf_counter() - train_start
         get_registry().gauge(
             f"{self._metric_prefix}.throughput").set(stats.throughput)
         return stats
@@ -337,7 +359,7 @@ class Trainer:
 
     def _run_eval(self, stats: TrainStats) -> None:
         """One mode-restoring evaluation probe."""
-        probe_start = time.perf_counter()
+        probe_start = perf_counter()
         with eval_mode(self.task.module):
             value = self.task.eval_metric()
         if value is None:
@@ -346,7 +368,7 @@ class Trainer:
         stats.eval_values.append(value)
         if self.journal is not None:
             self.journal.probe(self.step_index, value,
-                               seconds=time.perf_counter() - probe_start)
+                               seconds=perf_counter() - probe_start)
 
     def _should_stop_early(self, epoch_loss: float) -> bool:
         patience = self.spec.early_stop_patience

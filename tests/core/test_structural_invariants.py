@@ -1,0 +1,96 @@
+"""Structural invariants: visibility verification and masking-config sums.
+
+These are the test-suite half of ``python -m repro.lint --invariants``:
+:func:`verify_visibility` must accept every matrix the builder produces (for
+real encoded tables, not just synthetic layouts), reject tampered ones, and
+the masking configuration must validate its fraction algebra.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TURLConfig
+from repro.core.masking import MaskingPolicy
+from repro.core.visibility import (
+    build_visibility,
+    verify_visibility,
+    visibility_from_structure,
+)
+from repro.lint import run_invariant_checks
+
+
+def test_built_visibility_verifies_for_encoded_tables(context):
+    checked = 0
+    for table in context.splits.train.tables[:5]:
+        instance = context.linearizer.encode(table)
+        failures = verify_visibility(build_visibility(instance),
+                                     instance.element_kinds(),
+                                     instance.element_rows(),
+                                     instance.element_cols())
+        assert failures == [], failures
+        checked += 1
+    assert checked == 5
+
+
+def test_verify_visibility_rejects_tampering(context):
+    instance = context.linearizer.encode(context.splits.train.tables[0])
+    kinds = instance.element_kinds()
+    rows = instance.element_rows()
+    cols = instance.element_cols()
+    visible = build_visibility(instance)
+
+    asymmetric = visible.copy()
+    asymmetric[0, -1] = not asymmetric[0, -1]
+    assert any("symmetric" in f for f in
+               verify_visibility(asymmetric, kinds, rows, cols))
+
+    no_self = visible.copy()
+    np.fill_diagonal(no_self, False)
+    assert any("self-visibility" in f for f in
+               verify_visibility(no_self, kinds, rows, cols))
+
+    wrong_shape = visible[:-1, :-1]
+    assert verify_visibility(wrong_shape, kinds, rows, cols)
+
+
+def test_verify_visibility_rejects_cross_column_leak():
+    kinds = np.array([2, 1, 1, 3, 3])  # topic, two headers, two cells
+    rows = np.array([-1, -1, -1, 0, 0])
+    cols = np.array([-1, 0, 1, 0, 1])
+    visible = visibility_from_structure(kinds, rows, cols)
+    leaked = visible.copy()
+    leaked[1, 4] = leaked[4, 1] = True  # header 0 sees a column-1 cell
+    assert any("header" in f for f in
+               verify_visibility(leaked, kinds, rows, cols))
+
+
+def test_default_config_validates_and_split_sums_to_one():
+    config = TURLConfig()
+    config.validate()
+    split = config.mer_corruption_split()
+    assert set(split) == {"keep", "full_mask", "mention_kept_masked",
+                          "mention_kept_noised"}
+    assert sum(split.values()) == pytest.approx(1.0, abs=1e-12)
+    assert split["keep"] == pytest.approx(config.mer_keep_fraction)
+
+
+def test_validate_rejects_mlm_fraction_overflow():
+    with pytest.raises(ValueError, match="mlm_mask_fraction"):
+        TURLConfig(mlm_mask_fraction=0.9, mlm_random_fraction=0.2).validate()
+
+
+def test_validate_rejects_out_of_range_fractions():
+    with pytest.raises(ValueError):
+        TURLConfig(mer_keep_fraction=-0.1).validate()
+    with pytest.raises(ValueError):
+        TURLConfig(mlm_random_fraction=1.2).validate()
+
+
+def test_masking_policy_rejects_invalid_config():
+    bad = TURLConfig(mlm_mask_fraction=0.9, mlm_random_fraction=0.2)
+    with pytest.raises(ValueError):
+        MaskingPolicy(bad, vocab_size=100, entity_vocab_size=50)
+
+
+def test_lint_invariant_runner_is_clean():
+    assert run_invariant_checks() == []

@@ -1,0 +1,76 @@
+"""The repo's own source must satisfy its own linter.
+
+This is the test-suite twin of the CI lint job: ``src`` lints clean, every
+suppression carries a written reason, the CLI entry point exits 0, and the
+runtime structural invariants hold.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.lint import format_json, format_text, lint_paths, run_invariant_checks
+from repro.lint.__main__ import main as lint_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+TESTS = os.path.join(REPO_ROOT, "tests")
+
+
+@pytest.fixture(scope="module")
+def src_result():
+    return lint_paths([SRC])
+
+
+def test_src_lints_clean(src_result):
+    messages = [violation.format() for violation in src_result.violations]
+    assert src_result.ok, "\n".join(messages)
+    assert src_result.files_checked > 50
+
+
+def test_every_suppression_has_a_reason(src_result):
+    for entry in src_result.suppressed:
+        assert entry.reason.strip(), (
+            f"{entry.violation.path}:{entry.violation.line} suppression of "
+            f"{entry.violation.rule_id} has an empty reason")
+
+
+def test_report_formats_render(src_result):
+    text = format_text(src_result)
+    assert "files checked" in text
+    assert "suppressions whitelisted" in text
+    assert '"ok": true' in format_json(src_result)
+
+
+def test_cli_entry_point_exits_zero_on_src():
+    output = io.StringIO()
+    with redirect_stdout(output):
+        exit_code = lint_main([SRC])
+    assert exit_code == 0
+    assert "0 violations" in output.getvalue()
+
+
+def test_cli_list_rules():
+    output = io.StringIO()
+    with redirect_stdout(output):
+        exit_code = lint_main(["--list-rules"])
+    assert exit_code == 0
+    for rule_id in ("RNG001", "CLK001", "TEN001", "EVL001", "EVL002",
+                    "DEF001", "EXC001", "LNT000"):
+        assert rule_id in output.getvalue()
+
+
+def test_runtime_invariants_hold():
+    assert run_invariant_checks() == []
+
+
+def test_tests_tree_parses_and_reports():
+    # The tests tree is linted for the universally-scoped rules only; it must
+    # at minimum parse and produce a well-formed report.
+    result = lint_paths([TESTS])
+    assert result.files_checked > 30
+    assert all(v.rule_id not in ("RNG001", "CLK001", "TEN001")
+               for v in result.violations)

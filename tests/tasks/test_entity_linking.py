@@ -103,6 +103,32 @@ def test_turl_linker_finetune_and_predict(linking):
             assert predicted is None
 
 
+def test_entity_embedding_frozen_during_scoring(linking):
+    """Regression: candidate scoring consumes the pre-trained entity
+    embedding as a frozen feature (detach before the gather), so gradients
+    from the scoring head must never reach the embedding table through
+    ``_score_cell`` — only through the (trainable) input-encoding path."""
+    from repro.nn import Tensor
+
+    context, _, train, _ = linking
+    linker = TURLEntityLinker(context.clone_model(), context.linearizer,
+                              context.kb, all_types())
+    assert linker.use_entity_embedding
+    instance = next(i for i in train if len(i.candidates) >= 2)
+    cell_hidden = Tensor(
+        np.random.default_rng(0).normal(size=(context.config.dim,)),
+        requires_grad=True)
+    linker.zero_grad()
+    logits = linker._score_cell(cell_hidden, instance.candidates)
+    logits.sum().backward()
+    # Scoring must not leak gradients into the frozen embedding table...
+    assert linker.model.embedding.entity.weight.grad is None
+    # ...while the scoring head and the cell representation do train.
+    match_grads = [p.grad for p in linker.match.parameters()]
+    assert any(g is not None and np.abs(g).sum() > 0 for g in match_grads)
+    assert cell_hidden.grad is not None and np.abs(cell_hidden.grad).sum() > 0
+
+
 def test_turl_linker_ablation_flags(linking):
     context, _, train, _ = linking
     linker = TURLEntityLinker(context.clone_model(), context.linearizer,

@@ -74,6 +74,28 @@ def test_same_seed_is_bit_identical():
         np.testing.assert_array_equal(runs[1][1][key], value)
 
 
+def test_sanitize_spec_is_bit_identical_to_off():
+    runs = []
+    for sanitize in (False, True):
+        task = ToyTask()
+        stats = Trainer(task, TrainSpec(epochs=3, seed=5,
+                                        sanitize=sanitize)).fit()
+        runs.append((stats.losses, _state(task.module)))
+    assert runs[0][0] == runs[1][0]
+    for key, value in runs[0][1].items():
+        np.testing.assert_array_equal(runs[1][1][key], value)
+
+
+def test_sanitize_spec_round_trips_through_dict():
+    spec = TrainSpec(epochs=2, sanitize=True)
+    restored = TrainSpec.from_dict(spec.to_dict())
+    assert restored.sanitize is True
+    # Checkpoints written before the field existed restore to the default.
+    legacy = spec.to_dict()
+    del legacy["sanitize"]
+    assert TrainSpec.from_dict(legacy).sanitize is False
+
+
 def test_different_seed_differs():
     losses = []
     for seed in (0, 1):
