@@ -1,0 +1,41 @@
+"""Dependency-free micro/end-to-end benchmark harness for the hot paths.
+
+The repo's north star is "as fast as the hardware allows"; this package
+makes that measurable and regression-proof:
+
+- :mod:`repro.bench.runner` — :class:`BenchCase` (setup / timed run /
+  optional reference twin), the warmup-then-repeat timing protocol on
+  :func:`repro.obs.clock.perf_counter`, and peak traced-allocation bytes
+  (ndarray-dominated) via ``tracemalloc``;
+- :mod:`repro.bench.cases` — the registry of default cases covering every
+  optimized kernel: visibility construction (vectorized vs. index-by-index
+  reference, plus the structure-triple LRU cache), MER candidate-set
+  assembly, the additive attention mask, length-bucketed collation, and
+  end-to-end pre-training steps/sec;
+- :mod:`repro.bench.reference` — :func:`reference_mode`, which swaps every
+  optimized kernel for its committed ``_reference_*`` twin so end-to-end
+  speedups are measured against real, runnable baselines;
+- :mod:`repro.bench.report` — the ``BENCH_<name>.json`` reporter and a
+  human-readable text table.
+
+Every optimization measured here is bit-identical to its reference (proven
+by ``tests/bench/test_equivalence.py``); the benchmark exists to show the
+speed difference, not a behaviour difference.  Run via
+``python -m repro.cli bench --json BENCH_dev.json``.
+"""
+
+from repro.bench.runner import BenchCase, CaseResult, run_cases
+from repro.bench.cases import default_cases
+from repro.bench.reference import reference_mode
+from repro.bench.report import format_report, report_to_dict, write_report
+
+__all__ = [
+    "BenchCase",
+    "CaseResult",
+    "run_cases",
+    "default_cases",
+    "reference_mode",
+    "format_report",
+    "report_to_dict",
+    "write_report",
+]

@@ -1,0 +1,63 @@
+"""Swap every optimized hot-path kernel for its committed reference twin.
+
+:func:`reference_mode` is a context manager that monkeypatches the three
+vectorized kernels back to their pre-optimization implementations —
+visibility construction (loop oracle, no LRU cache), MER candidate-set
+assembly (per-element Python sets) and the attention mask (per-call boolean
+broadcast + ``masked_fill``).  Inside the context, a full pre-training run
+exercises exactly the old code paths, which is how the end-to-end bench case
+gets an honest steps/sec baseline without keeping a second training engine
+around.
+
+All references are bit-identical to their optimized twins (see
+``tests/bench/test_equivalence.py``), so metrics gathered in and out of
+reference mode differ only in speed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+import repro.core.batching as _batching
+import repro.core.visibility as _visibility
+from repro.core.candidates import CandidateBuilder
+from repro.core.linearize import TableInstance
+from repro.nn.attention import MultiHeadAttention
+
+
+def _reference_build_visibility(instance: TableInstance) -> np.ndarray:
+    """Uncached, loop-built visibility for one instance."""
+    return _visibility._reference_visibility_from_structure(
+        instance.element_kinds(), instance.element_rows(),
+        instance.element_cols())
+
+
+@contextmanager
+def reference_mode():
+    """Run the enclosed block on the pre-optimization kernel implementations.
+
+    Patches (and restores on exit, even on error):
+
+    - ``build_visibility`` in both :mod:`repro.core.visibility` and
+      :mod:`repro.core.batching` (the latter holds its own imported binding)
+      to the uncached index-by-index loop construction;
+    - :meth:`CandidateBuilder.build` to ``_reference_build``;
+    - :meth:`MultiHeadAttention.forward` to ``_reference_forward``.
+    """
+    originals = (
+        _visibility.build_visibility,
+        _batching.build_visibility,
+        CandidateBuilder.build,
+        MultiHeadAttention.forward,
+    )
+    _visibility.build_visibility = _reference_build_visibility
+    _batching.build_visibility = _reference_build_visibility
+    CandidateBuilder.build = CandidateBuilder._reference_build
+    MultiHeadAttention.forward = MultiHeadAttention._reference_forward
+    try:
+        yield
+    finally:
+        (_visibility.build_visibility, _batching.build_visibility,
+         CandidateBuilder.build, MultiHeadAttention.forward) = originals

@@ -1,0 +1,78 @@
+"""Benchmark reporting: ``BENCH_<name>.json`` and a human-readable table.
+
+The JSON layout is stable so reports from different commits diff cleanly::
+
+    {
+      "bench": "<name>",
+      "created_unix": <wall_time()>,
+      "protocol": {"warmup": W, "repeat": R,
+                   "timer": "repro.obs.clock.perf_counter"},
+      "cases": [<CaseResult.to_dict()>, ...]
+    }
+
+Per case: every repetition's wall seconds, best/mean seconds, throughput
+(items at the best repetition), peak traced-allocation bytes (ndarray
+buffers dominate), and — when a reference twin ran — the same numbers for
+the reference plus the headline ``speedup`` ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from repro.bench.runner import CaseResult
+from repro.obs.clock import wall_time
+
+
+def report_to_dict(name: str, results: List[CaseResult], warmup: int,
+                   repeat: int) -> dict:
+    return {
+        "bench": name,
+        "created_unix": wall_time(),
+        "protocol": {
+            "warmup": warmup,
+            "repeat": repeat,
+            "timer": "repro.obs.clock.perf_counter",
+        },
+        "cases": [result.to_dict() for result in results],
+    }
+
+
+def write_report(path: str, name: str, results: List[CaseResult],
+                 warmup: int, repeat: int) -> dict:
+    """Write ``BENCH_<name>.json``-style output to ``path``; returns the dict."""
+    payload = report_to_dict(name, results, warmup, repeat)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def format_report(results: List[CaseResult]) -> str:
+    """A fixed-width text table of the results (one line per case)."""
+    header = (f"{'case':<22} {'best (s)':>10} {'items/s':>12} "
+              f"{'peak mem':>10} {'ref (s)':>10} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for result in results:
+        reference = result.reference_best_seconds
+        speedup = result.speedup
+        lines.append(
+            f"{result.name:<22} {result.best_seconds:>10.4f} "
+            f"{result.throughput:>12.1f} "
+            f"{_human_bytes(result.peak_bytes):>10} "
+            f"{(f'{reference:.4f}' if reference is not None else '-'):>10} "
+            f"{(f'{speedup:.2f}x' if speedup is not None else '-'):>8}")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""The timed-case registry and warmup/repeat measurement protocol.
+
+A :class:`BenchCase` bundles an untimed ``setup`` (workload construction),
+a timed ``run`` (one repetition over the whole workload, returning how many
+items it processed) and an optional ``reference`` twin implementing the same
+work with the committed pre-optimization code path.  :func:`run_cases`
+executes each case as::
+
+    state = setup()
+    run(state) x warmup          # untimed: caches warm, allocator settles
+    run(state) x repeat          # timed with repro.obs.clock.perf_counter
+    run(state) under tracemalloc # untimed: peak traced bytes
+    ... same protocol for reference ...
+
+Timing flows exclusively through :func:`repro.obs.clock.perf_counter` (the
+repo's single clock gateway, lint rule CLK001) and peak memory through
+``tracemalloc``, which numpy registers its ndarray buffers with — so
+``peak_bytes`` is dominated by ndarray allocations.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.obs.clock import perf_counter
+
+
+@dataclass
+class BenchCase:
+    """One benchmarkable workload with an optional reference baseline."""
+
+    name: str
+    setup: Callable[[], Any]
+    run: Callable[[Any], float]
+    reference: Optional[Callable[[Any], float]] = None
+    unit: str = "items"
+    description: str = ""
+
+
+@dataclass
+class CaseResult:
+    """Measured timings for one case (and, if present, its reference)."""
+
+    name: str
+    unit: str
+    description: str
+    warmup: int
+    repeat: int
+    items: float
+    seconds: List[float] = field(default_factory=list)
+    peak_bytes: int = 0
+    reference_seconds: Optional[List[float]] = None
+    reference_peak_bytes: Optional[int] = None
+
+    @property
+    def best_seconds(self) -> float:
+        return min(self.seconds) if self.seconds else 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return (sum(self.seconds) / len(self.seconds)) if self.seconds else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Items per second at the best (least-noisy) repetition."""
+        best = self.best_seconds
+        return self.items / best if best > 0 else 0.0
+
+    @property
+    def reference_best_seconds(self) -> Optional[float]:
+        if not self.reference_seconds:
+            return None
+        return min(self.reference_seconds)
+
+    @property
+    def reference_throughput(self) -> Optional[float]:
+        best = self.reference_best_seconds
+        if best is None or best <= 0:
+            return None
+        return self.items / best
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Optimized throughput over reference throughput (>1 is faster)."""
+        reference = self.reference_best_seconds
+        best = self.best_seconds
+        if reference is None or best <= 0:
+            return None
+        return reference / best
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "unit": self.unit,
+            "description": self.description,
+            "warmup": self.warmup,
+            "repeat": self.repeat,
+            "items": self.items,
+            "seconds": self.seconds,
+            "best_seconds": self.best_seconds,
+            "mean_seconds": self.mean_seconds,
+            "throughput": self.throughput,
+            "peak_bytes": self.peak_bytes,
+        }
+        if self.reference_seconds is not None:
+            payload["reference"] = {
+                "seconds": self.reference_seconds,
+                "best_seconds": self.reference_best_seconds,
+                "throughput": self.reference_throughput,
+                "peak_bytes": self.reference_peak_bytes,
+            }
+            payload["speedup"] = self.speedup
+        return payload
+
+
+def _timed(run: Callable[[Any], float], state: Any, warmup: int,
+           repeat: int) -> tuple:
+    items = 0.0
+    for _ in range(warmup):
+        items = run(state)
+    seconds: List[float] = []
+    for _ in range(repeat):
+        start = perf_counter()
+        items = run(state)
+        seconds.append(perf_counter() - start)
+    return seconds, float(items)
+
+
+def _peak_bytes(run: Callable[[Any], float], state: Any) -> int:
+    tracemalloc.start()
+    try:
+        run(state)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def run_case(case: BenchCase, warmup: int = 1, repeat: int = 3) -> CaseResult:
+    """Run one case through the full protocol (see module docstring)."""
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    state = case.setup()
+    seconds, items = _timed(case.run, state, warmup, repeat)
+    result = CaseResult(name=case.name, unit=case.unit,
+                        description=case.description, warmup=warmup,
+                        repeat=repeat, items=items, seconds=seconds,
+                        peak_bytes=_peak_bytes(case.run, state))
+    if case.reference is not None:
+        reference_seconds, reference_items = _timed(case.reference, state,
+                                                    warmup, repeat)
+        if reference_items != items:
+            raise RuntimeError(
+                f"bench case {case.name!r}: reference processed "
+                f"{reference_items} {case.unit} but the optimized path "
+                f"processed {items} — the comparison would be meaningless")
+        result.reference_seconds = reference_seconds
+        result.reference_peak_bytes = _peak_bytes(case.reference, state)
+    return result
+
+
+def run_cases(cases: List[BenchCase], warmup: int = 1, repeat: int = 3,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> List[CaseResult]:
+    """Run every case in order; ``progress`` receives one line per case."""
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(f"running {case.name} ...")
+        results.append(run_case(case, warmup=warmup, repeat=repeat))
+    return results

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli report --journal run.jsonl       # loss / timing summary
     python -m repro.cli registry                         # experiment index
     python -m repro.cli lint src tests                   # static analysis
+    python -m repro.cli bench --json BENCH_dev.json      # hot-path benchmarks
 
 ``pretrain`` and ``finetune`` accept ``--sanitize`` to run every training
 step under the autograd sanitizer (NaN/Inf guards, in-place mutation
@@ -80,7 +81,7 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
             WorldConfig(seed=args.seed).scaled(args.scale),
             SynthesisConfig(seed=args.seed + 1, n_tables=args.tables),
             TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed,
-            journal=journal, sanitize=args.sanitize)
+            journal=journal, sanitize=args.sanitize, shuffle=args.shuffle)
     finally:
         if journal is not None:
             journal.close()
@@ -264,6 +265,27 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import default_cases, format_report, run_cases, write_report
+
+    cases = default_cases()
+    if args.only:
+        known = {case.name for case in cases}
+        missing = [name for name in args.only if name not in known]
+        if missing:
+            print(f"unknown bench case(s): {', '.join(missing)}")
+            print(f"available: {', '.join(sorted(known))}")
+            return 1
+        cases = [case for case in cases if case.name in set(args.only)]
+    results = run_cases(cases, warmup=args.warmup, repeat=args.repeat,
+                        progress=print)
+    print(format_report(results))
+    if args.json:
+        write_report(args.json, args.name, results, args.warmup, args.repeat)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.__main__ import main as lint_main
 
@@ -303,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a JSONL run journal to this path")
     pretrain.add_argument("--sanitize", action="store_true",
                           help="run steps under the autograd sanitizer")
+    pretrain.add_argument("--shuffle", choices=("flat", "bucket"),
+                          default="flat",
+                          help="epoch order: flat (bit-identical historical "
+                               "order) or bucket (length-bucketed batches, "
+                               "no padding waste)")
     pretrain.set_defaults(handler=_cmd_pretrain)
 
     finetune = commands.add_parser(
@@ -339,6 +366,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     registry = commands.add_parser("registry", help="print the experiment index")
     registry.set_defaults(handler=_cmd_registry)
+
+    bench = commands.add_parser(
+        "bench", help="run the hot-path benchmark suite")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed repetitions before measuring")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timed repetitions per case (best is reported)")
+    bench.add_argument("--only", nargs="*", default=None,
+                       help="run only these case names")
+    bench.add_argument("--name", default="dev",
+                       help="bench name recorded in the JSON report")
+    bench.add_argument("--json", default=None,
+                       help="write a BENCH_<name>.json report to this path")
+    bench.set_defaults(handler=_cmd_bench)
 
     lint = commands.add_parser("lint", help="run the repo's static analyzer")
     lint.add_argument("paths", nargs="*", default=["src"])

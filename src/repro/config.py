@@ -22,6 +22,11 @@ class TURLConfig:
     intermediate_dim: int = 128
     num_heads: int = 4
     dropout: float = 0.0
+    #: derive per-layer dropout RNGs via the SeedSequence spawn protocol
+    #: (collision-free) instead of the historical 31-bit ``rng.integers``
+    #: reseed.  Off by default: flipping it changes every downstream
+    #: initialization draw, so committed goldens require the old behaviour.
+    spawn_dropout_rng: bool = False
 
     # -- input limits -----------------------------------------------------
     max_caption_tokens: int = 24

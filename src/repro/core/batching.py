@@ -120,12 +120,66 @@ def encode_table(linearizer, table, extra_entity_slots: int = 0
     return instance, collate([instance])
 
 
+#: Supported epoch orders for :func:`batches_of` and ``TrainSpec.shuffle``.
+SHUFFLE_MODES = ("flat", "bucket")
+
+
+def bucket_key(instance: TableInstance) -> Tuple[int, int]:
+    """The padding-equivalence class of an instance.
+
+    Instances sharing ``(n_tokens, n_entities)`` collate with zero padding
+    waste; length-bucketed batching groups by this key.
+    """
+    return (instance.n_tokens, instance.n_entities)
+
+
+def bucketed_chunk_indices(keys: Sequence[Any], batch_size: int,
+                           order: np.ndarray,
+                           rng: Optional[np.random.Generator] = None
+                           ) -> List[List[int]]:
+    """Split a (possibly permuted) index ``order`` into same-key chunks.
+
+    Each chunk holds at most ``batch_size`` indices, all sharing a key, so
+    collating a chunk pads nothing.  Every index in ``order`` appears in
+    exactly one chunk.  When ``rng`` is given the chunk order is shuffled —
+    otherwise buckets would be visited in a systematic (first-appearance)
+    order, biasing training towards same-shape runs.
+    """
+    groups: Dict[Any, List[int]] = {}
+    for i in order:
+        groups.setdefault(keys[int(i)], []).append(int(i))
+    chunks: List[List[int]] = []
+    for members in groups.values():
+        chunks.extend(members[start:start + batch_size]
+                      for start in range(0, len(members), batch_size))
+    if rng is not None and len(chunks) > 1:
+        chunks = [chunks[int(i)] for i in rng.permutation(len(chunks))]
+    return chunks
+
+
 def batches_of(instances: List[TableInstance], batch_size: int,
-               rng: np.random.Generator = None):
-    """Yield collated batches, optionally shuffling instance order."""
+               rng: np.random.Generator = None, shuffle: str = "flat"):
+    """Yield collated batches, optionally shuffling instance order.
+
+    ``shuffle="flat"`` (the default) keeps the historical order bit-for-bit:
+    one optional permutation over all instances, then sequential chunks of
+    ``batch_size``.  ``shuffle="bucket"`` groups instances by
+    :func:`bucket_key` so each batch collates like-shaped instances with no
+    padding waste; coverage is identical (every instance appears exactly
+    once per pass) but the order is only seeded-equivalent, not bit-equal,
+    to the flat path.
+    """
+    if shuffle not in SHUFFLE_MODES:
+        raise ValueError(f"unknown shuffle mode {shuffle!r}; "
+                         f"expected one of {SHUFFLE_MODES}")
     order = np.arange(len(instances))
     if rng is not None:
         order = rng.permutation(len(instances))
+    if shuffle == "bucket":
+        keys = [bucket_key(instance) for instance in instances]
+        for chunk in bucketed_chunk_indices(keys, batch_size, order, rng):
+            yield collate([instances[i] for i in chunk])
+        return
     for start in range(0, len(instances), batch_size):
         chunk = [instances[int(i)] for i in order[start:start + batch_size]]
         yield collate(chunk)

@@ -23,6 +23,21 @@ from repro.text.vocab import SPECIAL_TOKENS, Vocabulary
 _FIRST_REAL_ID = len(SPECIAL_TOKENS)
 
 
+def _first_occurrence(values: np.ndarray) -> List[int]:
+    """Distinct values in first-appearance order, as Python ints.
+
+    Inserting this list into a ``set`` reproduces the exact internal layout
+    of inserting the raw (duplicated) stream, because re-inserting a present
+    element never mutates the hash table — which is what keeps the
+    ``rng.choice`` draws over set-iteration-ordered pools bit-identical
+    between :meth:`CandidateBuilder.build` and its reference.
+    """
+    if not len(values):
+        return []
+    _, index = np.unique(values, return_index=True)
+    return values[np.sort(index)].tolist()
+
+
 class CandidateBuilder:
     """Builds candidate entity sets for MER training and evaluation."""
 
@@ -50,6 +65,67 @@ class CandidateBuilder:
         ``candidate_ids`` has shape ``(C,)`` (entity-vocabulary ids) and
         ``remapped_labels`` matches ``mer_labels``'s shape with candidate
         indexes (or ``IGNORE``).
+
+        Vectorized: id extraction, the over-budget trim, and label remapping
+        run as numpy set operations over sorted arrays instead of per-element
+        Python loops.  Output is bit-identical to :meth:`_reference_build`
+        for the same ``rng`` state: the co-occurrence pool is still assembled
+        through the same Python-set operations (its *iteration order* feeds
+        ``rng.choice``, so it must be preserved exactly), and the deduplicated
+        ids are inserted in first-occurrence order, which leaves every set's
+        internal layout identical to inserting the raw duplicated stream.
+        """
+        config = self.config
+        labels = np.asarray(mer_labels).reshape(-1)
+        true_ids = set(_first_occurrence(labels[labels != IGNORE]))
+        entities = np.asarray(batch_entity_ids).reshape(-1)
+        table_ids = set(_first_occurrence(entities[entities >= _FIRST_REAL_ID]))
+        candidates: Set[int] = true_ids | table_ids
+
+        cooccurring: Set[int] = set()
+        for vocab_id in table_ids | true_ids:
+            cooccurring |= self.cooccurrence.get(vocab_id, set())
+        cooccurring -= candidates
+        if cooccurring:
+            pool = np.fromiter(cooccurring, dtype=np.int64,
+                               count=len(cooccurring))
+            take = min(len(pool), config.n_cooccurrence_candidates)
+            chosen = rng.choice(len(pool), size=take, replace=False)
+            candidates.update(pool[chosen].tolist())
+
+        n_random = config.n_random_negatives
+        if n_random and len(self.entity_vocab) > _FIRST_REAL_ID:
+            negatives = rng.integers(_FIRST_REAL_ID, len(self.entity_vocab),
+                                     size=n_random)
+            candidates.update(negatives.tolist())
+
+        candidate_ids = np.sort(np.fromiter(candidates, dtype=np.int64,
+                                            count=len(candidates)))
+        if len(candidate_ids) > config.max_candidates:
+            # Never drop true ids; trim from the non-true remainder.
+            keep = np.sort(np.fromiter(true_ids, dtype=np.int64,
+                                       count=len(true_ids)))
+            others = np.setdiff1d(candidate_ids, keep, assume_unique=True)
+            chosen = rng.choice(len(others),
+                                size=max(0, config.max_candidates - len(keep)),
+                                replace=False)
+            candidate_ids = np.sort(np.concatenate([keep, others[chosen]]))
+
+        remapped = np.full(mer_labels.shape, IGNORE, dtype=np.int64)
+        selected = mer_labels != IGNORE
+        remapped[selected] = np.searchsorted(candidate_ids,
+                                             mer_labels[selected])
+        return candidate_ids, remapped
+
+    def _reference_build(self, batch_entity_ids: np.ndarray,
+                         mer_labels: np.ndarray,
+                         rng: np.random.Generator
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element Python-set implementation of :meth:`build`.
+
+        The pre-optimization original, kept as the equivalence-test oracle
+        and the ``repro.bench`` candidate-build baseline; :meth:`build` must
+        produce bit-identical output from an identical ``rng`` state.
         """
         config = self.config
         true_ids = set(int(v) for v in mer_labels[mer_labels != IGNORE])

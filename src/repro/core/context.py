@@ -70,12 +70,16 @@ def build_context(world_config: WorldConfig = WorldConfig(),
                   entity_min_frequency: int = 2,
                   seed: int = 0,
                   journal: Optional[RunJournal] = None,
-                  sanitize: bool = False) -> TURLContext:
+                  sanitize: bool = False,
+                  shuffle: str = "flat") -> TURLContext:
     """Build the full pipeline: world → corpus → vocabularies → pre-training.
 
     Set ``pretrain_epochs=0`` to skip pre-training (random initialization).
     ``journal`` (a :class:`repro.obs.RunJournal`) records one JSONL event
     per pre-training step; it never alters the seeded result.
+    ``shuffle`` selects the pre-training epoch order: ``"flat"`` (the
+    historical bit-identical default) or ``"bucket"`` (length-bucketed
+    batches with no padding waste; seeded-equivalent, not bit-equal).
     """
     kb = generate_world(world_config)
     corpus = filter_relational(build_corpus(kb, synthesis_config))
@@ -96,7 +100,7 @@ def build_context(world_config: WorldConfig = WorldConfig(),
         instances = [linearizer.encode(table) for table in splits.train]
         pretrainer = Pretrainer(model, instances, candidate_builder,
                                 model_config, seed=seed, journal=journal,
-                                sanitize=sanitize)
+                                sanitize=sanitize, shuffle=shuffle)
         # With a journal attached, finish with the recovery probe so the
         # journal carries a probe event; the probe runs under no_grad with
         # its own fixed rng, so the trained weights are unaffected.

@@ -20,6 +20,7 @@ import numpy as np
 from repro.config import TURLConfig
 from repro.core.embedding import TableEmbedding
 from repro.nn import Linear, Module, Tensor, TransformerEncoder
+from repro.nn.attention import AdditiveVisibilityMask
 from repro.obs import trace
 
 
@@ -37,7 +38,8 @@ class TURLModel(Module):
         self.embedding = TableEmbedding(vocab_size, entity_vocab_size, config, rng)
         self.encoder = TransformerEncoder(
             config.num_layers, config.dim, config.num_heads,
-            config.intermediate_dim, rng, dropout=config.dropout)
+            config.intermediate_dim, rng, dropout=config.dropout,
+            spawn_dropout_rng=config.spawn_dropout_rng)
         self.mlm_project = Linear(config.dim, config.dim, rng)
         self.mer_project = Linear(config.dim, config.dim, rng)
 
@@ -51,7 +53,11 @@ class TURLModel(Module):
         """
         with trace("model/encode/embedding"):
             hidden = self.embedding(batch)
-        visibility = batch["visibility"] if use_visibility else None
+        visibility = None
+        if use_visibility:
+            # Precompile the boolean matrix into the additive float mask once
+            # per batch; every attention layer then shares it.
+            visibility = AdditiveVisibilityMask(batch["visibility"])
         with trace("model/encode/encoder"):
             encoded = self.encoder(hidden, visibility)
         n_tokens = batch["token_ids"].shape[1]

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.config import TURLConfig
-from repro.core.batching import collate
+from repro.core.batching import bucket_key, collate
 from repro.core.candidates import CandidateBuilder
 from repro.core.linearize import ETYPE_OBJECT, TableInstance
 from repro.core.masking import IGNORE, MaskingPolicy
@@ -88,6 +88,9 @@ class PretrainObjective(TrainableTask):
             batch = collate(chunk)
         return self.pretrainer.compute_loss(batch, rng)
 
+    def bucket_key(self, item: TableInstance):
+        return bucket_key(item)
+
     def eval_metric(self) -> Optional[float]:
         if self.eval_instances is None:
             return None
@@ -106,7 +109,7 @@ class Pretrainer:
                  config: Optional[TURLConfig] = None, seed: int = 0,
                  use_visibility: bool = True,
                  journal: Optional[RunJournal] = None,
-                 sanitize: bool = False):
+                 sanitize: bool = False, shuffle: str = "flat"):
         self.model = model
         self.instances = list(instances)
         self.candidates = candidate_builder
@@ -119,6 +122,7 @@ class Pretrainer:
         self.optimizer = None
         self.journal = journal
         self.sanitize = sanitize
+        self.shuffle = shuffle
 
     def _spec(self, n_epochs: int = 1,
               eval_every: Optional[int] = None) -> TrainSpec:
@@ -129,6 +133,7 @@ class Pretrainer:
                          schedule="linear", final_lr_fraction=0.1,
                          gradient_clip=self.config.gradient_clip,
                          batch_size=self.config.batch_size,
+                         shuffle=self.shuffle,
                          seed=self.seed, eval_every=eval_every,
                          eval_at_end=True, sanitize=self.sanitize)
 

@@ -14,7 +14,8 @@ aggregate information only from structurally related elements.
 
 from __future__ import annotations
 
-from typing import List
+from collections import OrderedDict
+from typing import List, Tuple
 
 import numpy as np
 
@@ -26,16 +27,63 @@ from repro.core.linearize import (
     TableInstance,
 )
 
+#: Maximum number of distinct structure triples kept by the LRU cache.
+VISIBILITY_CACHE_SIZE = 512
+
+_cache: "OrderedDict[Tuple[bytes, bytes, bytes, int], np.ndarray]" = OrderedDict()
+_cache_stats = {"hits": 0, "misses": 0}
+
+
+def cached_visibility(kinds: np.ndarray, rows: np.ndarray,
+                      cols: np.ndarray) -> np.ndarray:
+    """LRU-cached :func:`visibility_from_structure`.
+
+    The same table structure recurs every epoch (and identical structures
+    recur across tables), so the matrix is memoized on the byte content of
+    the ``(kinds, rows, cols)`` triple.  The returned array is **read-only**
+    — callers that need to mutate it must copy.
+    """
+    kinds = np.ascontiguousarray(kinds)
+    rows = np.ascontiguousarray(rows)
+    cols = np.ascontiguousarray(cols)
+    key = (kinds.tobytes(), rows.tobytes(), cols.tobytes(), len(kinds))
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        _cache_stats["hits"] += 1
+        return cached
+    visible = visibility_from_structure(kinds, rows, cols)
+    visible.setflags(write=False)
+    _cache[key] = visible
+    _cache_stats["misses"] += 1
+    if len(_cache) > VISIBILITY_CACHE_SIZE:
+        _cache.popitem(last=False)
+    return visible
+
+
+def visibility_cache_stats() -> dict:
+    """Current hit/miss counts and entry count of the visibility cache."""
+    return {**_cache_stats, "entries": len(_cache)}
+
+
+def clear_visibility_cache() -> None:
+    """Drop every cached matrix and reset the hit/miss counters."""
+    _cache.clear()
+    _cache_stats["hits"] = 0
+    _cache_stats["misses"] = 0
+
 
 def build_visibility(instance: TableInstance) -> np.ndarray:
     """Build the boolean visibility matrix for one linearized table.
 
     Returns an ``(L, L)`` symmetric boolean array with ``True`` = visible.
+    The result comes from the structure-triple LRU cache and is read-only;
+    copy before mutating.
     """
     kinds = instance.element_kinds()
     rows = instance.element_rows()
     cols = instance.element_cols()
-    return visibility_from_structure(kinds, rows, cols)
+    return cached_visibility(kinds, rows, cols)
 
 
 def visibility_from_structure(kinds: np.ndarray, rows: np.ndarray,
@@ -67,6 +115,37 @@ def visibility_from_structure(kinds: np.ndarray, rows: np.ndarray,
     visible |= is_cell[:, None] & is_cell[None, :] & (same_row | same_col)
     # Self-visibility always holds.
     np.fill_diagonal(visible, True)
+    return visible
+
+
+def _reference_visibility_from_structure(kinds: np.ndarray, rows: np.ndarray,
+                                         cols: np.ndarray) -> np.ndarray:
+    """Index-by-index construction of the visibility matrix.
+
+    The slow, obviously-correct oracle for :func:`visibility_from_structure`:
+    one Python iteration per element pair, transcribing Section 4.3's rules
+    literally.  Kept for the equivalence test suite and as the baseline the
+    ``repro.bench`` visibility case measures speedups against.
+    """
+    kinds = np.asarray(kinds)
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    n = len(kinds)
+    is_global = (kinds == KIND_CAPTION) | (kinds == KIND_TOPIC)
+    visible = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i == j or is_global[i] or is_global[j]:
+                visible[i, j] = True
+                continue
+            if kinds[i] == KIND_HEADER and kinds[j] == KIND_HEADER:
+                visible[i, j] = True
+            elif kinds[i] == KIND_HEADER and kinds[j] == KIND_CELL:
+                visible[i, j] = cols[i] == cols[j]
+            elif kinds[i] == KIND_CELL and kinds[j] == KIND_HEADER:
+                visible[i, j] = cols[i] == cols[j]
+            elif kinds[i] == KIND_CELL and kinds[j] == KIND_CELL:
+                visible[i, j] = rows[i] == rows[j] or cols[i] == cols[j]
     return visible
 
 

@@ -9,7 +9,7 @@ standard trick used by Transformer implementations.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -17,6 +17,70 @@ from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor
 
 MASKED_LOGIT = -1e9
+
+
+class AdditiveVisibilityMask:
+    """A visibility matrix precompiled into an additive float logit mask.
+
+    Wraps the boolean visibility array and lazily materializes the
+    ``(B, 1, L, L)`` float mask (``0`` where visible, :data:`MASKED_LOGIT`
+    where not) exactly once — :meth:`repro.core.model.TURLModel.encode`
+    builds one wrapper per batch, so every attention layer shares the same
+    precomputed mask instead of re-deriving a boolean broadcast per layer.
+    Numerically this is bit-identical to the boolean ``masked_fill`` path:
+    ``exp(x + MASKED_LOGIT)`` and ``exp(MASKED_LOGIT)`` both underflow to
+    exactly ``0.0`` after the softmax's max-shift.
+    """
+
+    def __init__(self, visibility: np.ndarray):
+        self.visibility = np.asarray(visibility, dtype=bool)
+        if self.visibility.ndim not in (2, 3):
+            raise ValueError(
+                f"visibility must be (L, L) or (B, L, L), got shape "
+                f"{self.visibility.shape}")
+        self._additive: Optional[Tensor] = None
+
+    def check_shape(self, batch: int, length: int) -> None:
+        shape = self.visibility.shape
+        expected = ((length, length) if self.visibility.ndim == 2
+                    else (batch, length, length))
+        if shape != expected:
+            raise ValueError(
+                f"visibility shape {shape} incompatible with "
+                f"({batch}, {length}, {length})")
+
+    def additive(self) -> Tensor:
+        """The cached ``(B, 1, L, L)`` additive mask as a constant Tensor."""
+        if self._additive is None:
+            mask = self.visibility
+            if mask.ndim == 2:
+                mask = mask[None, :, :]
+            self._additive = Tensor(
+                np.where(mask, 0.0, MASKED_LOGIT)[:, None, :, :])
+        return self._additive
+
+
+#: What attention layers accept as a mask: a boolean visibility array or a
+#: batch-level precompiled :class:`AdditiveVisibilityMask`.
+VisibilityLike = Union[np.ndarray, AdditiveVisibilityMask]
+
+
+def derive_dropout_rng(rng: np.random.Generator,
+                       spawn: bool = False) -> np.random.Generator:
+    """Derive a per-layer dropout RNG from a parent generator.
+
+    ``spawn=False`` (the historical default) reseeds from
+    ``rng.integers(2**31)`` — a 31-bit draw, so two layers of one model can
+    collide and share a dropout stream.  ``spawn=True`` uses the
+    SeedSequence spawn protocol, which guarantees statistically independent,
+    collision-free child streams; it also leaves the parent stream's state
+    untouched, so downstream initialization draws shift.  The flag is
+    surfaced as ``TURLConfig.spawn_dropout_rng`` and defaults off to keep
+    committed goldens bit-identical.
+    """
+    if spawn:
+        return rng.spawn(1)[0]
+    return np.random.default_rng(rng.integers(2**31))
 
 
 class MultiHeadAttention(Module):
@@ -28,10 +92,16 @@ class MultiHeadAttention(Module):
         Model (input/output) dimension, ``d_model`` in the paper.
     num_heads:
         Number of attention heads ``k``; must divide ``dim``.
+    spawn_dropout_rng:
+        When ``True``, the dropout RNG is derived via
+        :func:`derive_dropout_rng`'s spawn path (collision-free child
+        streams); the default ``False`` keeps the historical
+        ``rng.integers(2**31)`` reseeding, which can collide across layers
+        but is what every committed golden was trained with.
     """
 
     def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
-                 dropout: float = 0.0):
+                 dropout: float = 0.0, spawn_dropout_rng: bool = False):
         super().__init__()
         if dim % num_heads != 0:
             raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
@@ -42,13 +112,15 @@ class MultiHeadAttention(Module):
         self.key = Linear(dim, dim, rng)
         self.value = Linear(dim, dim, rng)
         self.output = Linear(dim, dim, rng)
-        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.dropout = Dropout(dropout,
+                               rng=derive_dropout_rng(rng, spawn_dropout_rng))
 
     def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
         # (B, L, D) -> (B, H, L, Dh)
         return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, hidden: Tensor, visibility: Optional[np.ndarray] = None) -> Tensor:
+    def forward(self, hidden: Tensor,
+                visibility: Optional[VisibilityLike] = None) -> Tensor:
         """Apply self-attention.
 
         Parameters
@@ -57,8 +129,10 @@ class MultiHeadAttention(Module):
             Input of shape ``(batch, length, dim)``.
         visibility:
             Optional boolean array of shape ``(batch, length, length)`` (or
-            ``(length, length)``); ``True`` means *visible*.  Invisible pairs
-            get ``MASKED_LOGIT`` added before the softmax.
+            ``(length, length)``) — ``True`` means *visible* — or a
+            precompiled :class:`AdditiveVisibilityMask` (built once per batch
+            by the model, shared across layers).  Invisible pairs get
+            ``MASKED_LOGIT`` added before the softmax.
         """
         batch, length, _ = hidden.shape
         q = self._split_heads(self.query(hidden), batch, length)
@@ -67,6 +141,36 @@ class MultiHeadAttention(Module):
 
         logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
         if visibility is not None:
+            if not isinstance(visibility, AdditiveVisibilityMask):
+                visibility = AdditiveVisibilityMask(visibility)
+            visibility.check_shape(batch, length)
+            # Broadcast over the head axis; masked logits underflow to zero
+            # probability exactly as the boolean reference path does.
+            logits = logits + visibility.additive()
+
+        weights = logits.softmax(axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ v  # (B, H, L, Dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.output(context)
+
+    def _reference_forward(self, hidden: Tensor,
+                           visibility: Optional[VisibilityLike] = None
+                           ) -> Tensor:
+        """Pre-optimization forward: per-call boolean broadcast + masked_fill.
+
+        The equivalence-test oracle and ``repro.bench`` baseline for the
+        additive-mask fast path; must stay byte-for-byte the old behaviour.
+        """
+        batch, length, _ = hidden.shape
+        q = self._split_heads(self.query(hidden), batch, length)
+        k = self._split_heads(self.key(hidden), batch, length)
+        v = self._split_heads(self.value(hidden), batch, length)
+
+        logits = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if visibility is not None:
+            if isinstance(visibility, AdditiveVisibilityMask):
+                visibility = visibility.visibility
             mask = np.asarray(visibility, dtype=bool)
             if mask.ndim == 2:
                 mask = np.broadcast_to(mask[None, :, :], (batch, length, length))

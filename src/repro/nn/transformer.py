@@ -13,7 +13,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import (MultiHeadAttention, VisibilityLike,
+                                derive_dropout_rng)
 from repro.nn.layers import Dropout, LayerNorm, Linear, Module, ModuleList
 from repro.nn.tensor import Tensor
 
@@ -22,16 +23,20 @@ class TransformerBlock(Module):
     """One encoder block: attention + FFN with residual connections."""
 
     def __init__(self, dim: int, num_heads: int, intermediate_dim: int,
-                 rng: np.random.Generator, dropout: float = 0.0):
+                 rng: np.random.Generator, dropout: float = 0.0,
+                 spawn_dropout_rng: bool = False):
         super().__init__()
-        self.attention = MultiHeadAttention(dim, num_heads, rng, dropout=dropout)
+        self.attention = MultiHeadAttention(dim, num_heads, rng, dropout=dropout,
+                                            spawn_dropout_rng=spawn_dropout_rng)
         self.attention_norm = LayerNorm(dim)
         self.ffn_in = Linear(dim, intermediate_dim, rng)
         self.ffn_out = Linear(intermediate_dim, dim, rng)
         self.ffn_norm = LayerNorm(dim)
-        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+        self.dropout = Dropout(dropout,
+                               rng=derive_dropout_rng(rng, spawn_dropout_rng))
 
-    def forward(self, hidden: Tensor, visibility: Optional[np.ndarray] = None) -> Tensor:
+    def forward(self, hidden: Tensor,
+                visibility: Optional[VisibilityLike] = None) -> Tensor:
         attended = self.attention(hidden, visibility)
         hidden = self.attention_norm(hidden + self.dropout(attended))
         transformed = self.ffn_out(self.ffn_in(hidden).gelu())
@@ -43,14 +48,17 @@ class TransformerEncoder(Module):
 
     def __init__(self, num_layers: int, dim: int, num_heads: int,
                  intermediate_dim: int, rng: np.random.Generator,
-                 dropout: float = 0.0):
+                 dropout: float = 0.0, spawn_dropout_rng: bool = False):
         super().__init__()
         self.blocks = ModuleList(
-            [TransformerBlock(dim, num_heads, intermediate_dim, rng, dropout=dropout)
+            [TransformerBlock(dim, num_heads, intermediate_dim, rng,
+                              dropout=dropout,
+                              spawn_dropout_rng=spawn_dropout_rng)
              for _ in range(num_layers)]
         )
 
-    def forward(self, hidden: Tensor, visibility: Optional[np.ndarray] = None) -> Tensor:
+    def forward(self, hidden: Tensor,
+                visibility: Optional[VisibilityLike] = None) -> Tensor:
         for block in self.blocks:
             hidden = block(hidden, visibility)
         return hidden

@@ -43,6 +43,7 @@ from repro.obs.clock import perf_counter
 from repro.train.task import StepOutput, TrainableTask
 
 SCHEDULES = ("constant", "linear")
+SHUFFLE_MODES = ("flat", "bucket")
 
 
 @dataclass
@@ -62,6 +63,11 @@ class TrainSpec:
     final_lr_fraction: float = 0.1
     gradient_clip: Optional[float] = None
     batch_size: int = 1
+    #: epoch order: ``"flat"`` reproduces the historical order bit-for-bit
+    #: (one permutation, sequential chunks); ``"bucket"`` groups items by
+    #: :meth:`TrainableTask.bucket_key` so multi-instance batches collate
+    #: with minimal padding (seeded-equivalent coverage, different order).
+    shuffle: str = "flat"
     seed: int = 0
     max_items: Optional[int] = None
     eval_every: Optional[int] = None
@@ -77,6 +83,9 @@ class TrainSpec:
         if self.schedule not in SCHEDULES:
             raise ValueError(f"unknown schedule {self.schedule!r}; "
                              f"expected one of {SCHEDULES}")
+        if self.shuffle not in SHUFFLE_MODES:
+            raise ValueError(f"unknown shuffle mode {self.shuffle!r}; "
+                             f"expected one of {SHUFFLE_MODES}")
         if self.epochs < 0:
             raise ValueError("epochs must be non-negative")
         if self.batch_size < 1:
@@ -302,11 +311,9 @@ class Trainer:
         train_start = perf_counter()
         with trace(f"{self.task.name}/train"):
             while self.epochs_completed < target:
-                order = self.rng.permutation(len(items))
                 epoch_losses: List[float] = []
-                for start in range(0, len(items), spec.batch_size):
-                    chunk = [items[int(i)]
-                             for i in order[start:start + spec.batch_size]]
+                for indices in self._epoch_chunks(items):
+                    chunk = [items[int(i)] for i in indices]
                     batch = chunk[0] if spec.batch_size == 1 else chunk
                     step_start = perf_counter()
                     result = self.run_step(batch)
@@ -345,6 +352,27 @@ class Trainer:
         get_registry().gauge(
             f"{self._metric_prefix}.throughput").set(stats.throughput)
         return stats
+
+    def _epoch_chunks(self, items: List[Any]) -> List[Any]:
+        """One epoch's batches as lists of item indices.
+
+        ``shuffle="flat"`` consumes exactly one ``rng.permutation`` and
+        chunks it sequentially — byte-for-byte the pre-bucketing behaviour.
+        ``shuffle="bucket"`` additionally groups the permuted order by
+        :meth:`TrainableTask.bucket_key` and shuffles the chunk order, so
+        every item still occurs exactly once per epoch but like-shaped items
+        share a batch (minimal collate padding).
+        """
+        spec = self.spec
+        order = self.rng.permutation(len(items))
+        if spec.shuffle == "bucket":
+            from repro.core.batching import bucketed_chunk_indices
+
+            keys = [self.task.bucket_key(item) for item in items]
+            return bucketed_chunk_indices(keys, spec.batch_size, order,
+                                          self.rng)
+        return [order[start:start + spec.batch_size]
+                for start in range(0, len(items), spec.batch_size)]
 
     def _journal_step(self, result: Dict[str, float], seconds: float) -> None:
         if self.journal is None:

@@ -69,6 +69,14 @@ class TrainableTask:
         engine's ``max_items`` subsampling budget."""
         return 1
 
+    def bucket_key(self, item: Any) -> Any:
+        """Padding-equivalence key for ``spec.shuffle="bucket"``.
+
+        Items sharing a key may be batched together with no padding waste.
+        The default (``None`` for every item) puts everything in one bucket,
+        which degrades bucketed shuffling to a plain seeded reordering."""
+        return None
+
     def eval_metric(self) -> Optional[float]:
         """Periodic evaluation hook (higher is better); ``None`` disables it.
 

@@ -1,0 +1,1 @@
+"""Benchmark-harness and equivalence tests."""

@@ -1,0 +1,268 @@
+"""Bit-identity proofs for every optimized hot path.
+
+Each optimized kernel ships with its pre-optimization implementation
+(``_reference_*``); these tests drive both from identical seeds across
+hundreds of randomized cases and demand *exact* equality — not allclose —
+because the training goldens pin exact floats and any drift would surface
+there as a hard failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TURLConfig
+from repro.core.candidates import _FIRST_REAL_ID, CandidateBuilder
+from repro.core.linearize import (
+    KIND_CAPTION,
+    KIND_CELL,
+    KIND_HEADER,
+    KIND_TOPIC,
+)
+from repro.core.masking import IGNORE
+from repro.core.visibility import (
+    _reference_visibility_from_structure,
+    cached_visibility,
+    clear_visibility_cache,
+    visibility_cache_stats,
+    visibility_from_structure,
+)
+from repro.nn import Tensor
+from repro.nn.attention import AdditiveVisibilityMask, MultiHeadAttention
+from repro.text.vocab import EntityVocabulary
+
+N_CASES = 200
+
+
+# -- visibility construction --------------------------------------------------
+
+def _random_structure(rng: np.random.Generator, realistic: bool):
+    """One random ``(kinds, rows, cols)`` triple.
+
+    ``realistic=True`` lays elements out like the linearizer (caption,
+    headers, topic, row-major cells); ``realistic=False`` draws every field
+    independently to stress rule combinations the linearizer never emits.
+    """
+    if realistic:
+        n_caption = int(rng.integers(0, 8))
+        n_cols = int(rng.integers(1, 5))
+        n_header = n_cols * int(rng.integers(0, 3))
+        n_cells = int(rng.integers(1, 40))
+        kinds = np.concatenate([
+            np.full(n_caption, KIND_CAPTION),
+            np.full(n_header, KIND_HEADER),
+            [KIND_TOPIC],
+            np.full(n_cells, KIND_CELL),
+        ]).astype(np.int64)
+        rows = np.concatenate([
+            np.full(n_caption + n_header + 1, -1),
+            rng.integers(0, max(1, n_cells // n_cols), size=n_cells),
+        ]).astype(np.int64)
+        cols = np.concatenate([
+            np.full(n_caption, -1),
+            rng.integers(0, n_cols, size=n_header),
+            [-1],
+            rng.integers(0, n_cols, size=n_cells),
+        ]).astype(np.int64)
+        return kinds, rows, cols
+    n = int(rng.integers(0, 40))
+    kinds = rng.integers(0, 4, size=n).astype(np.int64)
+    rows = rng.integers(-1, 6, size=n).astype(np.int64)
+    cols = rng.integers(-1, 6, size=n).astype(np.int64)
+    return kinds, rows, cols
+
+
+def test_visibility_matches_reference_on_200_random_structures():
+    rng = np.random.default_rng(1000)
+    for case in range(N_CASES):
+        kinds, rows, cols = _random_structure(rng, realistic=case % 2 == 0)
+        fast = visibility_from_structure(kinds, rows, cols)
+        slow = _reference_visibility_from_structure(kinds, rows, cols)
+        assert np.array_equal(fast, slow), f"case {case} diverged"
+
+
+@pytest.mark.parametrize("kinds,rows,cols", [
+    ([], [], []),                                      # empty table
+    ([KIND_CAPTION], [-1], [-1]),                      # lone caption token
+    ([KIND_TOPIC], [-1], [-1]),                        # lone topic entity
+    ([KIND_CELL, KIND_CELL], [0, 0], [0, 1]),          # same-row pair
+    ([KIND_CELL, KIND_CELL], [0, 1], [0, 1]),          # unrelated pair
+    ([KIND_HEADER, KIND_CELL], [-1, 3], [2, 2]),       # header over its cell
+])
+def test_visibility_matches_reference_on_edge_structures(kinds, rows, cols):
+    kinds = np.asarray(kinds, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    fast = visibility_from_structure(kinds, rows, cols)
+    slow = _reference_visibility_from_structure(kinds, rows, cols)
+    assert np.array_equal(fast, slow)
+
+
+def test_cached_visibility_is_equal_readonly_and_counts_hits():
+    clear_visibility_cache()
+    rng = np.random.default_rng(7)
+    kinds, rows, cols = _random_structure(rng, realistic=True)
+    first = cached_visibility(kinds, rows, cols)
+    assert np.array_equal(first, visibility_from_structure(kinds, rows, cols))
+    assert not first.flags.writeable
+    second = cached_visibility(kinds.copy(), rows.copy(), cols.copy())
+    assert second is first
+    stats = visibility_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    clear_visibility_cache()
+    assert visibility_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+# -- MER candidate assembly ---------------------------------------------------
+
+@pytest.fixture(scope="module")
+def builder(corpus):
+    entity_vocab = EntityVocabulary.build_from_counts(corpus.entity_counts(),
+                                                      min_frequency=2)
+    return CandidateBuilder(corpus, entity_vocab, TURLConfig())
+
+
+def _random_candidate_inputs(rng: np.random.Generator, vocab_size: int):
+    batch = int(rng.integers(1, 6))
+    length = int(rng.integers(1, 40))
+    # Mix PAD/special ids (< _FIRST_REAL_ID) in with real ids, duplicated.
+    entity_ids = rng.integers(0, vocab_size, size=(batch, length))
+    labels = np.full((batch, length), IGNORE, dtype=np.int64)
+    n_masked = int(rng.integers(0, length + 1))
+    for row in range(batch):
+        positions = rng.choice(length, size=n_masked, replace=False)
+        labels[row, positions] = rng.integers(_FIRST_REAL_ID, vocab_size,
+                                              size=n_masked)
+    return entity_ids, labels
+
+
+def test_candidate_build_matches_reference_on_200_seeded_cases(builder):
+    vocab_size = len(builder.entity_vocab)
+    meta_rng = np.random.default_rng(2000)
+    trims = 0
+    for case in range(N_CASES):
+        entity_ids, labels = _random_candidate_inputs(meta_rng, vocab_size)
+        seed = int(meta_rng.integers(2**31))
+        fast_ids, fast_labels = builder.build(
+            entity_ids, labels, np.random.default_rng(seed))
+        slow_ids, slow_labels = builder._reference_build(
+            entity_ids, labels, np.random.default_rng(seed))
+        assert np.array_equal(fast_ids, slow_ids), f"case {case} (seed {seed})"
+        assert np.array_equal(fast_labels, slow_labels), \
+            f"case {case} (seed {seed})"
+        if len(fast_ids) == builder.config.max_candidates:
+            trims += 1
+    # The over-budget trim is its own rng-consuming branch; make sure the
+    # sweep actually exercised it.
+    assert trims > 0
+
+
+def test_candidate_build_matches_reference_with_no_masked_labels(builder):
+    vocab_size = len(builder.entity_vocab)
+    entity_ids = np.arange(_FIRST_REAL_ID,
+                           min(vocab_size, _FIRST_REAL_ID + 12)).reshape(1, -1)
+    labels = np.full(entity_ids.shape, IGNORE, dtype=np.int64)
+    fast = builder.build(entity_ids, labels, np.random.default_rng(5))
+    slow = builder._reference_build(entity_ids, labels,
+                                    np.random.default_rng(5))
+    assert np.array_equal(fast[0], slow[0])
+    assert np.array_equal(fast[1], slow[1])
+    assert np.all(fast[1] == IGNORE)
+
+
+def test_candidate_build_matches_reference_with_all_pad_entities(builder):
+    entity_ids = np.zeros((2, 7), dtype=np.int64)  # every id is special/PAD
+    labels = np.full((2, 7), IGNORE, dtype=np.int64)
+    labels[0, 3] = _FIRST_REAL_ID
+    fast = builder.build(entity_ids, labels, np.random.default_rng(11))
+    slow = builder._reference_build(entity_ids, labels,
+                                    np.random.default_rng(11))
+    assert np.array_equal(fast[0], slow[0])
+    assert np.array_equal(fast[1], slow[1])
+
+
+# -- additive attention mask --------------------------------------------------
+
+def _random_mask_case(rng: np.random.Generator):
+    heads = int(rng.choice([1, 2, 4]))
+    dim = heads * int(rng.integers(2, 6))
+    batch = int(rng.integers(1, 4))
+    length = int(rng.integers(2, 12))
+    x = rng.standard_normal((batch, length, dim))
+    if rng.random() < 0.2:
+        visibility = rng.random((length, length)) > 0.4        # 2-D mask
+        visibility |= np.eye(length, dtype=bool)
+    else:
+        visibility = rng.random((batch, length, length)) > 0.4
+        visibility |= np.eye(length, dtype=bool)[None]
+    return dim, heads, x, visibility
+
+
+def _forward_backward(attention, x: np.ndarray, visibility, weights,
+                      reference: bool):
+    attention.zero_grad()
+    hidden = Tensor(x.copy(), requires_grad=True)
+    if reference:
+        out = attention._reference_forward(hidden, visibility)
+    else:
+        out = attention.forward(hidden, AdditiveVisibilityMask(visibility))
+    loss = (out * Tensor(weights)).sum()
+    loss.backward()
+    grads = [np.array(p.grad, copy=True) for p in attention.parameters()]
+    return out.data.copy(), np.array(hidden.grad, copy=True), grads
+
+
+def test_additive_mask_forward_and_gradients_match_on_200_seeded_cases():
+    meta_rng = np.random.default_rng(3000)
+    for case in range(N_CASES):
+        dim, heads, x, visibility = _random_mask_case(meta_rng)
+        seed = int(meta_rng.integers(2**31))
+        attention = MultiHeadAttention(dim, heads,
+                                       np.random.default_rng(seed))
+        attention.eval()
+        weights = meta_rng.standard_normal(x.shape[:2] + (dim,))
+        fast = _forward_backward(attention, x, visibility, weights,
+                                 reference=False)
+        slow = _forward_backward(attention, x, visibility, weights,
+                                 reference=True)
+        assert np.array_equal(fast[0], slow[0]), f"case {case}: outputs"
+        assert np.array_equal(fast[1], slow[1]), f"case {case}: input grad"
+        for index, (g_fast, g_slow) in enumerate(zip(fast[2], slow[2])):
+            assert np.array_equal(g_fast, g_slow), \
+                f"case {case}: parameter grad {index}"
+
+
+def test_additive_mask_zeroes_probability_at_invisible_entries():
+    rng = np.random.default_rng(42)
+    attention = MultiHeadAttention(8, 2, rng)
+    attention.eval()
+    x = Tensor(rng.standard_normal((1, 5, 8)))
+    visibility = np.eye(5, dtype=bool)[None].repeat(1, axis=0)
+    mask = AdditiveVisibilityMask(visibility)
+    additive = mask.additive().data
+    assert additive.shape == (1, 1, 5, 5)
+    # exp(logit + MASKED_LOGIT) underflows to exactly 0.0 post max-shift,
+    # which is what makes the additive path bit-identical to masked_fill.
+    out_masked = attention(x, visibility=mask).data
+    out_reference = attention._reference_forward(x, visibility).data
+    assert np.array_equal(out_masked, out_reference)
+
+
+def test_additive_mask_is_built_once_and_validates_shape():
+    visibility = np.eye(4, dtype=bool)[None]
+    mask = AdditiveVisibilityMask(visibility)
+    assert mask.additive() is mask.additive()
+    mask.check_shape(1, 4)
+    with pytest.raises(ValueError):
+        mask.check_shape(2, 4)
+    with pytest.raises(ValueError):
+        AdditiveVisibilityMask(np.ones(3, dtype=bool))
+
+
+def test_forward_without_mask_matches_reference():
+    rng = np.random.default_rng(9)
+    attention = MultiHeadAttention(8, 2, rng)
+    attention.eval()
+    x = rng.standard_normal((2, 6, 8))
+    fast = attention.forward(Tensor(x)).data
+    slow = attention._reference_forward(Tensor(x)).data
+    assert np.array_equal(fast, slow)

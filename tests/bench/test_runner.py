@@ -1,0 +1,177 @@
+"""Tests for the repro.bench harness: protocol, reporting, reference mode."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchCase,
+    default_cases,
+    format_report,
+    reference_mode,
+    report_to_dict,
+    write_report,
+)
+from repro.bench.runner import CaseResult, run_case, run_cases
+from repro.core.candidates import CandidateBuilder
+from repro.nn.attention import MultiHeadAttention
+
+
+def _counting_case(name="counter", reference=True):
+    calls = {"setup": 0, "run": 0, "reference": 0}
+
+    def setup():
+        calls["setup"] += 1
+        return list(range(10))
+
+    def run(state):
+        calls["run"] += 1
+        return float(len(state))
+
+    def ref(state):
+        calls["reference"] += 1
+        return float(len(state))
+
+    case = BenchCase(name=name, setup=setup, run=run,
+                     reference=ref if reference else None, unit="widgets",
+                     description="test case")
+    return case, calls
+
+
+def test_run_case_follows_warmup_repeat_protocol():
+    case, calls = _counting_case()
+    result = run_case(case, warmup=2, repeat=3)
+    assert calls["setup"] == 1
+    # 2 warmup + 3 timed + 1 tracemalloc pass, for each side.
+    assert calls["run"] == 6
+    assert calls["reference"] == 6
+    assert len(result.seconds) == 3
+    assert len(result.reference_seconds) == 3
+    assert result.items == 10.0
+    assert result.peak_bytes >= 0
+    assert result.best_seconds == min(result.seconds)
+    assert result.throughput > 0
+    assert result.speedup is not None
+
+
+def test_run_case_without_reference_has_no_speedup():
+    case, _ = _counting_case(reference=False)
+    result = run_case(case, warmup=0, repeat=1)
+    assert result.reference_seconds is None
+    assert result.speedup is None
+    assert "reference" not in result.to_dict()
+
+
+def test_run_case_rejects_item_count_mismatch():
+    case = BenchCase(name="bad", setup=lambda: None,
+                     run=lambda state: 5.0, reference=lambda state: 6.0)
+    with pytest.raises(RuntimeError, match="meaningless"):
+        run_case(case, warmup=0, repeat=1)
+
+
+def test_run_case_validates_protocol_arguments():
+    case, _ = _counting_case()
+    with pytest.raises(ValueError):
+        run_case(case, repeat=0)
+    with pytest.raises(ValueError):
+        run_case(case, warmup=-1)
+
+
+def test_run_cases_reports_progress_in_order():
+    seen = []
+    cases = [_counting_case(name)[0] for name in ("a", "b")]
+    results = run_cases(cases, warmup=0, repeat=1, progress=seen.append)
+    assert [r.name for r in results] == ["a", "b"]
+    assert seen == ["running a ...", "running b ..."]
+
+
+def test_report_round_trips_through_json(tmp_path):
+    case, _ = _counting_case()
+    results = run_cases([case], warmup=1, repeat=2)
+    path = tmp_path / "BENCH_test.json"
+    payload = write_report(str(path), "test", results, warmup=1, repeat=2)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == json.loads(json.dumps(payload))
+    assert on_disk["bench"] == "test"
+    assert on_disk["protocol"] == {"warmup": 1, "repeat": 2,
+                                   "timer": "repro.obs.clock.perf_counter"}
+    (entry,) = on_disk["cases"]
+    assert entry["name"] == "counter"
+    assert len(entry["seconds"]) == 2
+    assert entry["speedup"] == pytest.approx(
+        entry["reference"]["best_seconds"] / entry["best_seconds"])
+
+
+def test_format_report_renders_one_line_per_case():
+    results = [
+        CaseResult(name="fast_thing", unit="items", description="",
+                   warmup=1, repeat=2, items=100.0, seconds=[0.5, 0.4],
+                   peak_bytes=2048, reference_seconds=[1.0, 0.8],
+                   reference_peak_bytes=4096),
+        CaseResult(name="lonely", unit="items", description="",
+                   warmup=1, repeat=1, items=1.0, seconds=[0.1],
+                   peak_bytes=10),
+    ]
+    text = format_report(results)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + rule + 2 cases
+    assert "fast_thing" in lines[2] and "2.00x" in lines[2]
+    assert "lonely" in lines[3] and lines[3].rstrip().endswith("-")
+
+
+def test_default_cases_cover_every_optimized_kernel():
+    names = [case.name for case in default_cases()]
+    assert names == ["visibility_construct", "visibility_cache",
+                     "candidate_build", "attention_mask",
+                     "bucketed_batching", "pretrain_steps"]
+    for case in default_cases():
+        assert case.reference is not None, case.name
+
+
+def test_reference_mode_swaps_and_restores_kernels():
+    import repro.core.batching as batching
+    import repro.core.visibility as visibility
+
+    original_build = visibility.build_visibility
+    original_forward = MultiHeadAttention.forward
+    original_candidates = CandidateBuilder.build
+    with reference_mode():
+        assert visibility.build_visibility is not original_build
+        assert batching.build_visibility is visibility.build_visibility
+        assert MultiHeadAttention.forward is \
+            MultiHeadAttention._reference_forward
+        assert CandidateBuilder.build is CandidateBuilder._reference_build
+    assert visibility.build_visibility is original_build
+    assert batching.build_visibility is original_build
+    assert MultiHeadAttention.forward is original_forward
+    assert CandidateBuilder.build is original_candidates
+
+
+def test_reference_mode_restores_on_error():
+    import repro.core.visibility as visibility
+
+    original = visibility.build_visibility
+    with pytest.raises(RuntimeError):
+        with reference_mode():
+            raise RuntimeError("boom")
+    assert visibility.build_visibility is original
+
+
+def test_reference_mode_build_visibility_matches_optimized(corpus):
+    from repro.core.linearize import Linearizer
+    from repro.core.visibility import build_visibility
+    from repro.text.tokenizer import WordPieceTokenizer
+    from repro.text.vocab import EntityVocabulary
+
+    tokenizer = WordPieceTokenizer.train(corpus.metadata_texts(),
+                                         vocab_size=500)
+    entity_vocab = EntityVocabulary.build_from_counts(corpus.entity_counts(),
+                                                      min_frequency=2)
+    linearizer = Linearizer(tokenizer, entity_vocab)
+    instance = linearizer.encode(next(iter(corpus)))
+    optimized = np.array(build_visibility(instance), copy=True)
+    with reference_mode():
+        import repro.core.visibility as visibility
+        referenced = visibility.build_visibility(instance)
+    assert np.array_equal(optimized, referenced)

@@ -1,0 +1,229 @@
+"""Property tests for epoch batching, bucketing, and collate edge cases.
+
+The flat shuffle order is load-bearing: every committed training golden was
+produced by it, so its byte-for-byte behaviour is pinned with a golden hash.
+Bucketed shuffling only has to satisfy the coverage/shape properties — its
+order is seeded-equivalent, not bit-equal.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.batching import (
+    SHUFFLE_MODES,
+    batches_of,
+    bucket_key,
+    bucketed_chunk_indices,
+    collate,
+)
+from repro.core.linearize import (
+    KIND_CAPTION,
+    KIND_CELL,
+    KIND_HEADER,
+    KIND_TOPIC,
+    ETYPE_OBJECT,
+    ETYPE_TOPIC,
+    TableInstance,
+)
+from repro.core.visibility import build_visibility
+from repro.text.vocab import PAD_ID
+
+_MENTION_WIDTH = 4
+_FIRST_TOKEN_BASE = 100  # token_ids[0] tags each instance with its index
+
+
+def _make_instance(index: int, n_tokens: int, n_entities: int,
+                   seed: int) -> TableInstance:
+    """A synthetic instance whose first token id encodes ``index``."""
+    rng = np.random.default_rng(seed)
+    n_caption = max(1, n_tokens // 3)
+    n_header = n_tokens - n_caption
+    token_ids = rng.integers(10, 90, size=n_tokens)
+    token_ids[0] = _FIRST_TOKEN_BASE + index
+    token_kind = np.concatenate([np.full(n_caption, KIND_CAPTION),
+                                 np.full(n_header, KIND_HEADER)])
+    token_col = np.concatenate([np.full(n_caption, -1),
+                                rng.integers(0, 3, size=n_header)])
+    token_pos = np.concatenate([np.arange(n_caption), np.arange(n_header)])
+
+    entity_kind = np.full(n_entities, KIND_CELL)
+    entity_type = np.full(n_entities, ETYPE_OBJECT)
+    entity_row = rng.integers(0, 4, size=n_entities)
+    entity_col = rng.integers(0, 3, size=n_entities)
+    if n_entities:
+        entity_kind[0] = KIND_TOPIC
+        entity_type[0] = ETYPE_TOPIC
+        entity_row[0] = -1
+        entity_col[0] = -1
+    return TableInstance(
+        table_id=f"synthetic-{index}",
+        token_ids=token_ids.astype(np.int64),
+        token_kind=token_kind.astype(np.int64),
+        token_col=token_col.astype(np.int64),
+        token_pos=token_pos.astype(np.int64),
+        entity_ids=rng.integers(5, 50, size=n_entities).astype(np.int64),
+        entity_kind=entity_kind.astype(np.int64),
+        entity_row=entity_row.astype(np.int64),
+        entity_col=entity_col.astype(np.int64),
+        entity_type=entity_type.astype(np.int64),
+        mention_ids=rng.integers(10, 90, size=(n_entities, _MENTION_WIDTH)
+                                 ).astype(np.int64),
+        entity_kb_ids=[None] * n_entities,
+    )
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """30 instances over 7 distinct (n_tokens, n_entities) shapes."""
+    shapes = [(6, 3), (6, 3), (9, 4), (9, 4), (9, 4), (12, 2), (5, 5),
+              (6, 3), (12, 2), (7, 6)] * 3
+    return [_make_instance(i, nt, ne, seed=1000 + i)
+            for i, (nt, ne) in enumerate(shapes)]
+
+
+def _seen_indices(batches) -> list:
+    seen = []
+    for batch in batches:
+        for row in range(batch["token_ids"].shape[0]):
+            seen.append(int(batch["token_ids"][row, 0]) - _FIRST_TOKEN_BASE)
+    return seen
+
+
+# -- coverage: every instance exactly once per epoch --------------------------
+
+@pytest.mark.parametrize("shuffle", SHUFFLE_MODES)
+@pytest.mark.parametrize("batch_size", [1, 4, 7, 64])
+@pytest.mark.parametrize("seed", [None, 0, 123])
+def test_every_instance_appears_exactly_once_per_epoch(instances, shuffle,
+                                                       batch_size, seed):
+    rng = np.random.default_rng(seed) if seed is not None else None
+    seen = _seen_indices(batches_of(instances, batch_size, rng=rng,
+                                    shuffle=shuffle))
+    assert sorted(seen) == list(range(len(instances)))
+
+
+def test_bucketed_chunk_indices_partition_the_order():
+    rng = np.random.default_rng(8)
+    keys = [("a", "b", "c")[i % 3] for i in range(23)]
+    order = rng.permutation(23)
+    chunks = bucketed_chunk_indices(keys, 4, order, rng)
+    flat = [i for chunk in chunks for i in chunk]
+    assert sorted(flat) == list(range(23))
+    for chunk in chunks:
+        assert 1 <= len(chunk) <= 4
+        assert len({keys[i] for i in chunk}) == 1
+
+
+def test_bucketed_chunks_respect_permutation_order_within_buckets():
+    keys = ["x"] * 9
+    order = np.asarray([4, 7, 1, 0, 8, 2, 6, 3, 5])
+    chunks = bucketed_chunk_indices(keys, 3, order)  # no rng: stable order
+    assert chunks == [[4, 7, 1], [0, 8, 2], [6, 3, 5]]
+
+
+# -- bucket shape guarantees --------------------------------------------------
+
+@pytest.mark.parametrize("batch_size", [1, 3, 8])
+def test_bucket_batches_are_bounded_and_padding_free(instances, batch_size):
+    for batch in batches_of(instances, batch_size,
+                            rng=np.random.default_rng(7), shuffle="bucket"):
+        assert batch["token_ids"].shape[0] <= batch_size
+        # Same bucket => identical shapes => every mask entry is real.
+        assert batch["token_mask"].all()
+        assert batch["entity_mask"].all()
+
+
+def test_bucket_key_is_the_padding_equivalence_class(instances):
+    instance = instances[0]
+    assert bucket_key(instance) == (instance.n_tokens, instance.n_entities)
+
+
+def test_unknown_shuffle_mode_raises(instances):
+    with pytest.raises(ValueError, match="unknown shuffle mode"):
+        list(batches_of(instances, 4, shuffle="spiral"))
+
+
+# -- flat order golden hash ---------------------------------------------------
+
+_BATCH_KEYS = ("token_ids", "token_kind", "token_col", "token_pos",
+               "token_mask", "entity_ids", "entity_type", "entity_row",
+               "entity_col", "entity_mask", "mention_ids", "visibility")
+
+FLAT_EPOCH_SHA256 = \
+    "dac3f96aeb27f84077c80d35083634f7e274b10ab22cbda9c97a2b70c29df349"
+
+
+def _epoch_digest(instances, batch_size, seed) -> str:
+    digest = hashlib.sha256()
+    rng = np.random.default_rng(seed) if seed is not None else None
+    for batch in batches_of(instances, batch_size, rng=rng, shuffle="flat"):
+        for key in _BATCH_KEYS:
+            digest.update(np.ascontiguousarray(batch[key]).tobytes())
+    return digest.hexdigest()
+
+
+def test_flat_shuffle_epoch_is_bit_identical_to_golden(instances):
+    """The historical epoch order, byte for byte.
+
+    This hash covers every array of every batch of a seeded flat epoch; it
+    changing means the default training order changed, which would break the
+    committed pre-training and fine-tuning goldens.
+    """
+    assert _epoch_digest(instances, batch_size=4, seed=123) == \
+        FLAT_EPOCH_SHA256
+
+
+# -- collate edge cases -------------------------------------------------------
+
+def test_collate_single_instance_batch_has_no_padding(instances):
+    instance = instances[2]
+    batch = collate([instance])
+    assert batch["token_ids"].shape == (1, instance.n_tokens)
+    assert batch["entity_ids"].shape == (1, instance.n_entities)
+    assert batch["token_mask"].all() and batch["entity_mask"].all()
+    local = build_visibility(instance)
+    assert np.array_equal(batch["visibility"][0], local)
+
+
+def test_collate_zero_entity_instance_alone():
+    empty = _make_instance(0, n_tokens=6, n_entities=0, seed=77)
+    batch = collate([empty])
+    assert batch["entity_ids"].shape == (1, 0)
+    assert batch["mention_ids"].shape == (1, 0, 0)
+    assert batch["visibility"].shape == (1, 6, 6)
+    assert batch["token_mask"].all()
+
+
+def test_collate_zero_entity_instance_mixed_with_real_ones():
+    empty = _make_instance(0, n_tokens=6, n_entities=0, seed=77)
+    full = _make_instance(1, n_tokens=6, n_entities=3, seed=78)
+    batch = collate([full, empty])
+    assert batch["entity_ids"].shape == (2, 3)
+    assert not batch["entity_mask"][1].any()
+    assert (batch["entity_ids"][1] == PAD_ID).all()
+    # The empty instance's pad entity slots stay invisible to its tokens.
+    assert not batch["visibility"][1, :6, 6:].any()
+    # ... but see themselves, keeping the softmax well defined.
+    assert batch["visibility"][1, 6:, 6:].diagonal().all()
+
+
+def test_collate_max_length_ties_pad_nothing():
+    tied = [_make_instance(i, n_tokens=8, n_entities=4, seed=200 + i)
+            for i in range(3)]
+    batch = collate(tied)
+    assert batch["token_ids"].shape == (3, 8)
+    assert batch["entity_ids"].shape == (3, 4)
+    assert batch["token_mask"].all() and batch["entity_mask"].all()
+    assert (batch["token_ids"] != PAD_ID)[:, 0].all()
+
+
+def test_collate_mixed_lengths_pad_to_the_max(instances):
+    mixed = [instances[0], instances[6], instances[5]]  # (6,3) (5,5) (12,2)
+    batch = collate(mixed)
+    assert batch["token_ids"].shape == (3, 12)
+    assert batch["entity_ids"].shape == (3, 5)
+    for row, instance in enumerate(mixed):
+        assert batch["token_mask"][row].sum() == instance.n_tokens
+        assert batch["entity_mask"][row].sum() == instance.n_entities

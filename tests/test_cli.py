@@ -107,3 +107,32 @@ def test_report_empty_journal_fails(tmp_path, capsys):
     open(journal, "w").close()
     assert main(["report", "--journal", journal]) == 1
     assert "empty" in capsys.readouterr().out
+
+
+def test_bench_command_writes_report(capsys, tmp_path):
+    import json
+
+    out = str(tmp_path / "BENCH_test.json")
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct",
+                 "--name", "test", "--json", out]) == 0
+    captured = capsys.readouterr().out
+    assert "visibility_construct" in captured
+    assert "speedup" in captured
+    with open(out) as handle:
+        payload = json.load(handle)
+    assert payload["bench"] == "test"
+    assert payload["cases"][0]["name"] == "visibility_construct"
+    assert payload["cases"][0]["speedup"] > 1.0
+
+
+def test_bench_command_rejects_unknown_case(capsys):
+    assert main(["bench", "--only", "nope"]) == 1
+    assert "unknown bench case" in capsys.readouterr().out
+
+
+def test_pretrain_bucket_shuffle(capsys, tmp_path):
+    checkpoint = str(tmp_path / "ckpt")
+    assert main(["pretrain", "--seed", "3", "--tables", "40", "--epochs", "1",
+                 "--out", checkpoint, "--shuffle", "bucket"]) == 0
+    assert "throughput" in capsys.readouterr().out
