@@ -17,15 +17,18 @@ def test_table08_row_population(population_setup, report, benchmark):
         setup = population_setup["seeds"][n_seed]
         eval_instances = setup["eval"]
         recalls[n_seed] = generator.recall(eval_instances)
-        results[("EntiTables", n_seed)] = entitables.evaluate_map(eval_instances, generator)
-        results[("Table2Vec", n_seed)] = table2vec.evaluate_map(eval_instances, generator)
+        results[("EntiTables", n_seed)] = entitables.evaluate(
+            eval_instances, generator).primary_value
+        t2v = table2vec.evaluate(eval_instances, generator)
+        results[("Table2Vec", n_seed)] = None if t2v is None else t2v.primary_value
         if n_seed == 0:
             results[("TURL + fine-tuning", n_seed)] = benchmark.pedantic(
-                setup["turl"].evaluate_map, args=(eval_instances, generator),
+                lambda: setup["turl"].evaluate(
+                    eval_instances, generator).primary_value,
                 rounds=1, iterations=1)
         else:
-            results[("TURL + fine-tuning", n_seed)] = setup["turl"].evaluate_map(
-                eval_instances, generator)
+            results[("TURL + fine-tuning", n_seed)] = setup["turl"].evaluate(
+                eval_instances, generator).primary_value
 
     def fmt(value):
         return "       -  " if value is None else f"{100 * value:9.2f} "

@@ -10,14 +10,15 @@ def test_table10_schema_augmentation(schema_setup, report, benchmark):
     for n_seed in (0, 1):
         setup = schema_setup["seeds"][n_seed]
         eval_instances = setup["eval"]
-        results[("kNN", n_seed)] = knn.evaluate_map(eval_instances, vocabulary)
+        results[("kNN", n_seed)] = knn.evaluate(
+            eval_instances, vocabulary).primary_value
         if n_seed == 0:
             results[("TURL + fine-tuning", n_seed)] = benchmark.pedantic(
-                setup["turl"].evaluate_map, args=(eval_instances,),
+                lambda: setup["turl"].evaluate(eval_instances).primary_value,
                 rounds=1, iterations=1)
         else:
-            results[("TURL + fine-tuning", n_seed)] = setup["turl"].evaluate_map(
-                eval_instances)
+            results[("TURL + fine-tuning", n_seed)] = setup["turl"].evaluate(
+                eval_instances).primary_value
 
     lines = [f"{'Method':22s}{'MAP@0 seeds':>14s}{'MAP@1 seed':>14s}"]
     for method in ("kNN", "TURL + fine-tuning"):

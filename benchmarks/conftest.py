@@ -217,7 +217,7 @@ def linking_setup(bench_context):
     }.items():
         linker = TURLEntityLinker(ctx.clone_model(), ctx.linearizer, ctx.kb,
                                   all_types(), **kwargs)
-        linker.finetune(train_instances, epochs=5, learning_rate=5e-4)
+        linker.finetune(train_instances, epochs=5, lr=5e-4)
         linkers[name] = linker
     return {"lookup": lookup, "test": test_instances, "train": train_instances,
             "linkers": linkers}

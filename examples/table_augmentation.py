@@ -51,8 +51,8 @@ def main() -> None:
     entitables = EntiTablesRowPopulator(context.splits.train)
     print("=== row population (1 seed) ===")
     print(f"  candidate recall: {generator.recall(eval_instances):.3f}")
-    print(f"  EntiTables MAP  : {entitables.evaluate_map(eval_instances, generator):.3f}")
-    print(f"  TURL MAP        : {populator.evaluate_map(eval_instances, generator):.3f}")
+    print(f"  EntiTables MAP  : {entitables.evaluate(eval_instances, generator).primary_value:.3f}")
+    print(f"  TURL MAP        : {populator.evaluate(eval_instances, generator).primary_value:.3f}")
 
     query = eval_instances[0]
     ranked = populator.rank(query, generator.candidates_for(query))
@@ -68,8 +68,8 @@ def main() -> None:
     print("\n=== cell filling ===")
     recall, avg = candidates.recall(instances)
     print(f"  candidate recall {recall:.3f} (avg {avg:.1f} candidates)")
-    print(f"  Exact P@K: {ExactRanker().evaluate_precision_at(instances, candidates)}")
-    print(f"  TURL  P@K: {filler.evaluate_precision_at(instances, candidates)}")
+    print(f"  Exact P@K: {ExactRanker().evaluate(instances, candidates).values}")
+    print(f"  TURL  P@K: {filler.evaluate(instances, candidates).values}")
 
     # --- Schema augmentation (Section 6.7) --------------------------------
     vocabulary = build_header_vocabulary(context.splits.train, min_tables=3)
@@ -81,8 +81,8 @@ def main() -> None:
     knn = KNNSchemaAugmenter(context.splits.train)
     print("\n=== schema augmentation (0 seed headers) ===")
     print(f"  header vocabulary: {len(vocabulary)}")
-    print(f"  kNN MAP : {knn.evaluate_map(eval_schema, vocabulary):.3f}")
-    print(f"  TURL MAP: {augmenter.evaluate_map(eval_schema):.3f}")
+    print(f"  kNN MAP : {knn.evaluate(eval_schema, vocabulary).primary_value:.3f}")
+    print(f"  TURL MAP: {augmenter.evaluate(eval_schema).primary_value:.3f}")
     case = eval_schema[0]
     print(f"  query: {case.caption!r}")
     print(f"    truth  : {sorted(case.target_headers)}")

@@ -37,7 +37,7 @@ def main() -> None:
                                   require_truth=True, max_instances=400)
     linker = TURLEntityLinker(context.clone_model(), context.linearizer,
                               context.kb, all_types())
-    linker.finetune(train, epochs=4, learning_rate=5e-4)
+    linker.finetune(train, epochs=4, lr=5e-4)
     print("=== entity linking ===")
     print(f"  Lookup top-1    : {LookupLinker().evaluate(test)}")
     print(f"  TURL fine-tuned : {linker.evaluate(test)}")

@@ -12,6 +12,7 @@ All three rank a candidate entity by the similarity between the query header
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +20,7 @@ import numpy as np
 from repro.data.corpus import TableCorpus
 from repro.retrieval.word2vec import Word2Vec, Word2VecConfig
 from repro.tasks.cell_filling import CellFillingCandidates, FillingInstance, HeaderStatistics
-from repro.tasks.metrics import precision_at_k
+from repro.tasks.metrics import TaskMetrics, precision_at_k
 from repro.tasks.schema_augmentation import normalize_header
 
 
@@ -39,9 +40,10 @@ class _HeaderSimilarityRanker:
         scored.sort()
         return [entity_id for _, entity_id in scored]
 
-    def evaluate_precision_at(self, instances: Sequence[FillingInstance],
-                              candidate_finder: CellFillingCandidates,
-                              ks: Sequence[int] = (1, 3, 5, 10)) -> Dict[int, float]:
+    def evaluate(self, instances: Sequence[FillingInstance],
+                 candidate_finder: CellFillingCandidates,
+                 ks: Sequence[int] = (1, 3, 5, 10)) -> TaskMetrics:
+        """P@K over instances whose truth survives candidate finding."""
         per_k: Dict[int, List[float]] = {k: [] for k in ks}
         for instance in instances:
             candidates = candidate_finder.candidates_for(
@@ -52,7 +54,20 @@ class _HeaderSimilarityRanker:
             ranked = self.rank(instance, candidates)
             for k in ks:
                 per_k[k].append(precision_at_k(ranked, {instance.true_object}, k))
-        return {k: float(np.mean(v)) if v else 0.0 for k, v in per_k.items()}
+        values = {f"p@{k}": float(np.mean(v)) if v else 0.0
+                  for k, v in per_k.items()}
+        return TaskMetrics(task="cell_filling", values=values,
+                           primary=f"p@{min(ks)}" if ks else "")
+
+    def evaluate_precision_at(self, instances: Sequence[FillingInstance],
+                              candidate_finder: CellFillingCandidates,
+                              ks: Sequence[int] = (1, 3, 5, 10)) -> Dict[int, float]:
+        """Deprecated alias of :meth:`evaluate`; returns ``{k: P@K}``."""
+        warnings.warn("evaluate_precision_at() is deprecated; use "
+                      "evaluate(...).values['p@<k>']", DeprecationWarning,
+                      stacklevel=2)
+        metrics = self.evaluate(instances, candidate_finder, ks=ks)
+        return {k: metrics.values[f"p@{k}"] for k in ks}
 
 
 class ExactRanker(_HeaderSimilarityRanker):

@@ -15,6 +15,7 @@ Two components the paper compares against:
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter, defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -23,7 +24,7 @@ import numpy as np
 from repro.data.corpus import TableCorpus
 from repro.retrieval.tfidf import TfIdfVectorizer, cosine_similarity
 from repro.tasks.row_population import PopulationCandidateGenerator, PopulationInstance
-from repro.tasks.metrics import mean_average_precision
+from repro.tasks.metrics import TaskMetrics, mean_average_precision
 from repro.tasks.schema_augmentation import SchemaInstance, normalize_header
 
 
@@ -74,14 +75,26 @@ class EntiTablesRowPopulator:
             scores = self._caption_likelihood_scores(instance, generator, candidates)
         return sorted(candidates, key=lambda c: (-scores[c], c))
 
-    def evaluate_map(self, instances: Sequence[PopulationInstance],
-                     generator: PopulationCandidateGenerator) -> float:
+    def evaluate(self, instances: Sequence[PopulationInstance],
+                 generator: PopulationCandidateGenerator) -> TaskMetrics:
+        """MAP over candidate rankings (paper Table 8 baseline row)."""
         rankings, truths = [], []
         for instance in instances:
             candidates = generator.candidates_for(instance)
             rankings.append(self.rank(instance, generator, candidates))
             truths.append(instance.target_entities)
-        return mean_average_precision(rankings, truths)
+        return TaskMetrics(
+            task="row_population",
+            values={"map": mean_average_precision(rankings, truths)},
+            primary="map")
+
+    def evaluate_map(self, instances: Sequence[PopulationInstance],
+                     generator: PopulationCandidateGenerator) -> float:
+        """Deprecated alias of :meth:`evaluate`; returns the bare MAP."""
+        warnings.warn("evaluate_map() is deprecated; use "
+                      "evaluate(...).values['map']", DeprecationWarning,
+                      stacklevel=2)
+        return self.evaluate(instances, generator).primary_value
 
 
 class KNNSchemaAugmenter:
@@ -120,12 +133,24 @@ class KNNSchemaAugmenter:
         ranked = [h for h, _ in scores.most_common()]
         return ranked
 
-    def evaluate_map(self, instances: Sequence[SchemaInstance],
-                     header_vocabulary: Sequence[str]) -> float:
+    def evaluate(self, instances: Sequence[SchemaInstance],
+                 header_vocabulary: Sequence[str]) -> TaskMetrics:
+        """MAP over header rankings (paper Table 10 baseline row)."""
         rankings = [self.rank(instance, header_vocabulary)
                     for instance in instances]
         truths = [instance.target_headers for instance in instances]
-        return mean_average_precision(rankings, truths)
+        return TaskMetrics(
+            task="schema_augmentation",
+            values={"map": mean_average_precision(rankings, truths)},
+            primary="map")
+
+    def evaluate_map(self, instances: Sequence[SchemaInstance],
+                     header_vocabulary: Sequence[str]) -> float:
+        """Deprecated alias of :meth:`evaluate`; returns the bare MAP."""
+        warnings.warn("evaluate_map() is deprecated; use "
+                      "evaluate(...).values['map']", DeprecationWarning,
+                      stacklevel=2)
+        return self.evaluate(instances, header_vocabulary).primary_value
 
     def best_support_caption(self, instance: SchemaInstance) -> Optional[str]:
         """Caption of the most similar corpus table (paper Table 11)."""

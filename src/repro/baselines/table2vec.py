@@ -10,13 +10,14 @@ candidates unranked.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.corpus import TableCorpus
 from repro.retrieval.word2vec import Word2Vec, Word2VecConfig
-from repro.tasks.metrics import mean_average_precision
+from repro.tasks.metrics import TaskMetrics, mean_average_precision
 from repro.tasks.row_population import PopulationCandidateGenerator, PopulationInstance
 
 
@@ -68,9 +69,11 @@ class Table2VecRowPopulator:
         scored.sort(key=lambda pair: (-pair[0], pair[1]))
         return [candidate for _, candidate in scored]
 
-    def evaluate_map(self, instances: Sequence[PopulationInstance],
-                     generator: PopulationCandidateGenerator) -> Optional[float]:
-        """MAP, or None when no instance has seeds (not applicable)."""
+    def evaluate(self, instances: Sequence[PopulationInstance],
+                 generator: PopulationCandidateGenerator
+                 ) -> Optional[TaskMetrics]:
+        """MAP, or None when no instance has seeds (not applicable —
+        the paper reports "-" in that Table 8 cell)."""
         if not any(instance.seed_entities for instance in instances):
             return None
         rankings, truths = [], []
@@ -78,4 +81,16 @@ class Table2VecRowPopulator:
             candidates = generator.candidates_for(instance)
             rankings.append(self.rank(instance, candidates))
             truths.append(instance.target_entities)
-        return mean_average_precision(rankings, truths)
+        return TaskMetrics(
+            task="row_population",
+            values={"map": mean_average_precision(rankings, truths)},
+            primary="map")
+
+    def evaluate_map(self, instances: Sequence[PopulationInstance],
+                     generator: PopulationCandidateGenerator) -> Optional[float]:
+        """Deprecated alias of :meth:`evaluate`; returns the bare MAP."""
+        warnings.warn("evaluate_map() is deprecated; use "
+                      "evaluate(...).values['map']", DeprecationWarning,
+                      stacklevel=2)
+        metrics = self.evaluate(instances, generator)
+        return None if metrics is None else metrics.primary_value

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli registry                         # experiment index
     python -m repro.cli lint src tests                   # static analysis
     python -m repro.cli bench --json BENCH_dev.json      # hot-path benchmarks
+    python -m repro.cli serve --checkpoint ckpt/         # JSON HTTP endpoint
 
 ``pretrain`` and ``finetune`` accept ``--sanitize`` to run every training
 step under the autograd sanitizer (NaN/Inf guards, in-place mutation
@@ -151,7 +152,8 @@ def _build_finetune_task(name: str, model, linearizer, kb, splits, seed: int):
                                           min_subject_entities=3)
         head = TURLRowPopulator(model, linearizer, seed=seed)
         return (head.training_task(train, generator),
-                lambda: ("test MAP", head.evaluate_map(test, generator)))
+                lambda: ("test MAP",
+                         head.evaluate(test, generator).primary_value))
     if name == "schema_augmentation":
         from repro.tasks.schema_augmentation import (TURLSchemaAugmenter,
                                                      build_header_vocabulary,
@@ -162,7 +164,7 @@ def _build_finetune_task(name: str, model, linearizer, kb, splits, seed: int):
         test = build_schema_instances(splits.test, vocabulary, n_seed=1)
         head = TURLSchemaAugmenter(model, linearizer, vocabulary, seed=seed)
         return (head.training_task(train),
-                lambda: ("test MAP", head.evaluate_map(test)))
+                lambda: ("test MAP", head.evaluate(test).primary_value))
     raise ValueError(f"unknown fine-tuning task {name!r}")
 
 
@@ -212,6 +214,57 @@ def _cmd_finetune(args: argparse.Namespace) -> int:
         print(f"training state written to {args.save_state}")
     if journal is not None:
         print(f"journal written to {args.journal}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.linearize import Linearizer
+    from repro.core.pretrain import load_checkpoint
+    from repro.data.preprocessing import filter_relational, partition_corpus
+    from repro.data.synthesis import SynthesisConfig, build_corpus
+    from repro.kb.generator import WorldConfig, generate_world
+    from repro.obs import RunJournal
+    from repro.serve import PredictionServer, build_serving_bundle
+
+    model, tokenizer, entity_vocab = load_checkpoint(args.checkpoint)
+    kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
+    corpus = filter_relational(build_corpus(
+        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+    splits = partition_corpus(corpus, seed=args.seed)
+    linearizer = Linearizer(tokenizer, entity_vocab, model.config)
+
+    journal = None
+    if args.journal:
+        try:
+            journal = RunJournal(args.journal)
+        except OSError as error:
+            print(f"cannot open journal {args.journal}: {error}")
+            return 1
+    bundle = build_serving_bundle(
+        model, linearizer, kb, splits, seed=args.seed,
+        finetune_epochs=args.finetune_epochs,
+        finetune_max_instances=args.max_instances,
+        enable_cache=not args.no_cache, cache_size=args.cache_size,
+        journal=journal)
+    server = PredictionServer(bundle.predictor, host=args.host,
+                              port=args.port,
+                              max_batch_size=args.max_batch_size,
+                              max_wait_ms=args.max_wait_ms)
+    host, port = server.address
+    print(f"serving on http://{host}:{port}  "
+          f"(cache {'off' if args.no_cache else 'on'})")
+    for task in bundle.predictor.tasks:
+        print(f"  POST /v1/{task}")
+    print("  GET  /healthz")
+    print("  GET  /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -351,6 +404,33 @@ def build_parser() -> argparse.ArgumentParser:
     finetune.add_argument("--sanitize", action="store_true",
                           help="run steps under the autograd sanitizer")
     finetune.set_defaults(handler=_cmd_finetune)
+
+    serve = commands.add_parser(
+        "serve", help="serve all six task heads over JSON HTTP")
+    serve.add_argument("--checkpoint", required=True,
+                       help="directory written by `pretrain --out`")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--tables", type=int, default=300)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--finetune-epochs", type=int, default=0,
+                       help="fine-tune each trainable head this many epochs "
+                            "before serving (0 = serve pre-trained weights)")
+    serve.add_argument("--max-instances", type=int, default=None,
+                       help="subsample each task's fine-tuning set")
+    serve.add_argument("--max-batch-size", type=int, default=8,
+                       help="micro-batcher flush size")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="micro-batcher flush deadline")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the shared encode cache")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="encode-cache capacity (distinct batches)")
+    serve.add_argument("--journal", default=None,
+                       help="write serve_request events to this JSONL path")
+    serve.set_defaults(handler=_cmd_serve)
 
     probe = commands.add_parser("probe", help="run the recovery probe")
     probe.add_argument("--checkpoint", required=True)

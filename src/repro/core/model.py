@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.config import TURLConfig
 from repro.core.embedding import TableEmbedding
-from repro.nn import Linear, Module, Tensor, TransformerEncoder
+from repro.nn import Linear, Module, Tensor, TransformerEncoder, is_grad_enabled
 from repro.nn.attention import AdditiveVisibilityMask
 from repro.obs import trace
 
@@ -42,6 +42,10 @@ class TURLModel(Module):
             spawn_dropout_rng=config.spawn_dropout_rng)
         self.mlm_project = Linear(config.dim, config.dim, rng)
         self.mer_project = Linear(config.dim, config.dim, rng)
+        #: Optional :class:`repro.serve.EncodeCache` (duck-typed so ``core``
+        #: never imports ``serve``).  Installed by the serving layer; only
+        #: consulted when the model is in eval mode with gradients off.
+        self.encode_cache = None
 
     # -- encoding -----------------------------------------------------------
     def encode(self, batch: Dict[str, np.ndarray],
@@ -51,6 +55,17 @@ class TURLModel(Module):
         ``use_visibility=False`` drops the structure mask (the Figure 7a
         ablation): every element attends to every other element.
         """
+        cache = self.encode_cache
+        if cache is not None and (self.training or is_grad_enabled()):
+            # Cached activations carry no autograd tape and no dropout
+            # noise, so they are only valid for inference-mode encodes.
+            cache = None
+        key = None
+        if cache is not None:
+            key = cache.key_for(batch, use_visibility)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         with trace("model/encode/embedding"):
             hidden = self.embedding(batch)
         visibility = None
@@ -63,6 +78,8 @@ class TURLModel(Module):
         n_tokens = batch["token_ids"].shape[1]
         token_hidden = encoded[:, :n_tokens]
         entity_hidden = encoded[:, n_tokens:]
+        if cache is not None:
+            cache.put(key, (token_hidden, entity_hidden))
         return token_hidden, entity_hidden
 
     # -- heads ---------------------------------------------------------------

@@ -17,6 +17,8 @@ EVL001    public ``predict`` / ``evaluate*`` / ``rank*`` on module-like
 EVL002    no bare ``.eval()`` calls — use the mode-restoring ``eval_mode``
 DEF001    no mutable default arguments
 EXC001    no bare ``except:``
+API001    no in-repo calls to deprecated API shims (``evaluate_map`` /
+          ``evaluate_precision_at`` / ``finetune(learning_rate=...)``)
 LNT000    every ``# lint: disable=RULE(...)`` suppression carries a reason
 ========  ==================================================================
 

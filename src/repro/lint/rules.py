@@ -36,6 +36,10 @@ MODULE_LIKE_BASES = {"Module", "Pretrainer"}
 #: Method names that are public inference entry points.
 EVAL_ENTRY_NAMES = ("predict", "evaluate", "rank")
 
+#: Method names kept only as deprecation shims for the uniform
+#: ``evaluate(...) -> TaskMetrics`` API (API001).
+DEPRECATED_SHIM_CALLS = {"evaluate_map", "evaluate_precision_at"}
+
 
 def _is_eval_entry(name: str) -> bool:
     return any(name == entry or name.startswith(entry + "_")
@@ -105,6 +109,11 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in [
     Rule("EXC001", "bare-except",
          "bare `except:` swallows SystemExit/KeyboardInterrupt",
          "catch a concrete exception type (or `except Exception:`)",
+         _everywhere),
+    Rule("API001", "deprecated-shim-call",
+         "call to a deprecated API shim",
+         "use the uniform `evaluate(...) -> TaskMetrics` entry point (or "
+         "`finetune(lr=...)`) instead of the deprecation shim",
          _everywhere),
     Rule("LNT000", "suppression-without-reason",
          "lint suppression without a written reason",
@@ -196,6 +205,16 @@ class _RuleVisitor(ast.NodeVisitor):
             self._flag("EVL002", node,
                        f"bare `{target}()` call does not restore the caller's "
                        "train/eval mode")
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in DEPRECATED_SHIM_CALLS:
+                self._flag("API001", node,
+                           f"`.{node.func.attr}()` is a deprecation shim — "
+                           "call `evaluate(...)` and read TaskMetrics.values")
+            elif (node.func.attr == "finetune"
+                  and any(kw.arg == "learning_rate" for kw in node.keywords)):
+                self._flag("API001", node,
+                           "`finetune(learning_rate=...)` is deprecated — "
+                           "pass `lr=...`")
         self.generic_visit(node)
 
     def _check_rng(self, node: ast.Call, dotted: str) -> None:
@@ -309,6 +328,16 @@ class _RuleVisitor(ast.NodeVisitor):
                    if isinstance(child, ast.FunctionDef)]
         guarded = {method.name for method in methods
                    if self._uses_eval_guard(method)}
+        # Delegation is transitive: a shim that calls `self.evaluate(...)`,
+        # which itself calls the guarded `self.rank(...)`, is guarded too.
+        changed = True
+        while changed:
+            changed = False
+            for method in methods:
+                if (method.name not in guarded
+                        and self._delegates_to(method, guarded)):
+                    guarded.add(method.name)
+                    changed = True
         for method in methods:
             if not _is_eval_entry(method.name) or method.name.startswith("_"):
                 continue

@@ -12,7 +12,14 @@ computations on CPU so that the full pre-train/fine-tune pipeline runs
 end-to-end without external dependencies.
 """
 
-from repro.nn.tensor import Tensor, Parameter, concat, stack, no_grad
+from repro.nn.tensor import (
+    Tensor,
+    Parameter,
+    concat,
+    stack,
+    no_grad,
+    is_grad_enabled,
+)
 from repro.nn.sanitize import (
     SanitizerError,
     assert_finite_module,
@@ -46,6 +53,7 @@ __all__ = [
     "concat",
     "stack",
     "no_grad",
+    "is_grad_enabled",
     "SanitizerError",
     "sanitize_ops",
     "sanitizer_enabled",

@@ -46,6 +46,11 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def is_grad_enabled() -> bool:
+    """Whether new operations currently record into the autograd tape."""
+    return _GRAD_ENABLED
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, inverting NumPy broadcasting."""
     if grad.shape == shape:

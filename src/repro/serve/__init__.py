@@ -1,0 +1,67 @@
+"""Dependency-free model serving for the six TUBE tasks.
+
+``repro.serve`` turns the per-task entry points (``predict`` / ``rank``)
+into one uniform, instrumented surface:
+
+- :mod:`repro.serve.adapters` — :class:`TaskAdapter` per task with
+  ``predict_one`` / ``predict_batch`` and JSON codecs; adapter outputs are
+  bit-identical to calling the wrapped head directly;
+- :mod:`repro.serve.cache` — :class:`EncodeCache`, a thread-safe LRU over
+  ``TURLModel.encode`` outputs keyed on batch content, so repeated tables
+  skip the Transformer;
+- :mod:`repro.serve.predictor` — the :class:`Predictor` facade: adapter
+  dispatch, shared cache install, ``repro.obs`` metrics and journal;
+- :mod:`repro.serve.batcher` — :class:`MicroBatcher`: concurrent requests
+  queue up and flush as per-task batches through one worker thread;
+- :mod:`repro.serve.http` — a stdlib ``http.server`` JSON endpoint
+  (``POST /v1/<task>``, ``GET /healthz``, ``GET /metrics``) plus the
+  in-process :class:`Client`;
+- :mod:`repro.serve.bootstrap` — build all six heads + resources from
+  pipeline artifacts (the ``repro.cli serve`` / smoke-test recipe).
+
+Usage::
+
+    from repro.serve import Client, build_serving_bundle
+
+    bundle = build_serving_bundle(model, linearizer, kb, splits)
+    with Client(bundle.predictor) as client:
+        client.predict("column_type", payload)
+        client.metrics()["encode_cache"]
+"""
+
+from repro.serve.adapters import (
+    CellFillingAdapter,
+    ColumnTypeAdapter,
+    EntityLinkingAdapter,
+    Prediction,
+    RelationExtractionAdapter,
+    RowPopulationAdapter,
+    SchemaAugmentationAdapter,
+    TaskAdapter,
+    adapters_by_task,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.serve.bootstrap import ServingBundle, build_serving_bundle
+from repro.serve.cache import ENCODE_CACHE_SIZE, EncodeCache
+from repro.serve.http import Client, PredictionServer
+from repro.serve.predictor import Predictor
+
+__all__ = [
+    "TaskAdapter",
+    "Prediction",
+    "EntityLinkingAdapter",
+    "ColumnTypeAdapter",
+    "RelationExtractionAdapter",
+    "RowPopulationAdapter",
+    "CellFillingAdapter",
+    "SchemaAugmentationAdapter",
+    "adapters_by_task",
+    "EncodeCache",
+    "ENCODE_CACHE_SIZE",
+    "Predictor",
+    "MicroBatcher",
+    "PredictionServer",
+    "Client",
+    "ServingBundle",
+    "build_serving_bundle",
+]

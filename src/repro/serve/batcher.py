@@ -1,0 +1,146 @@
+"""Micro-batching: queue concurrent requests, flush as task batches.
+
+Concurrent callers (HTTP handler threads, test harnesses) enqueue single
+instances; one daemon worker drains the queue and calls
+``Predictor.predict_batch`` per task group.  Besides amortizing per-call
+overhead, the single worker is the serving layer's concurrency story:
+``eval_mode`` / ``no_grad`` flip process-global state, so every prediction
+must run on one thread — callers only ever touch thread-safe
+:class:`~concurrent.futures.Future` objects.
+
+A batch flushes when either
+
+- the oldest queued task group reaches ``max_batch_size``, or
+- the oldest queued item has waited ``max_wait_ms`` milliseconds.
+
+Timing flows through :func:`repro.obs.clock.perf_counter`, the repo's one
+clock gateway (lint rule CLK001).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.obs import get_registry
+from repro.obs.clock import perf_counter
+
+
+class MicroBatcher:
+    """Queue ``(task, instance)`` requests; flush them in task batches."""
+
+    def __init__(self, predictor, max_batch_size: int = 8,
+                 max_wait_ms: float = 5.0):
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.predictor = predictor
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._queue: Deque[Tuple[str, Any, Future, float]] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._worker.start()
+
+    # -- client side ------------------------------------------------------
+    def submit(self, task: str, instance: Any) -> "Future":
+        """Enqueue one instance; resolve its prediction via the future."""
+        future: Future = Future()
+        with self._ready:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append((task, instance, future, perf_counter()))
+            self._ready.notify()
+        return future
+
+    def predict(self, task: str, instance: Any):
+        """Blocking convenience wrapper over :meth:`submit`."""
+        return self.submit(task, instance).result()
+
+    def close(self) -> None:
+        """Flush everything still queued, then stop the worker."""
+        with self._ready:
+            if self._closed:
+                return
+            self._closed = True
+            self._ready.notify()
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- worker side ------------------------------------------------------
+    def _head_batch_size(self) -> int:
+        """Queued items belonging to the oldest item's task."""
+        if not self._queue:
+            return 0
+        head_task = self._queue[0][0]
+        return sum(1 for task, _, _, _ in self._queue if task == head_task)
+
+    def _should_flush(self) -> bool:
+        if not self._queue:
+            return False
+        if self._closed:
+            return True
+        if self._head_batch_size() >= self.max_batch_size:
+            return True
+        oldest = self._queue[0][3]
+        return perf_counter() - oldest >= self.max_wait_s
+
+    def _take_batch(self) -> List[Tuple[str, Any, Future]]:
+        """Pop up to ``max_batch_size`` queued items of the head task,
+        preserving arrival order (other tasks stay queued)."""
+        head_task = self._queue[0][0]
+        batch: List[Tuple[str, Any, Future]] = []
+        remaining: Deque[Tuple[str, Any, Future, float]] = deque()
+        while self._queue:
+            task, instance, future, enqueued = self._queue.popleft()
+            if task == head_task and len(batch) < self.max_batch_size:
+                batch.append((task, instance, future))
+            else:
+                remaining.append((task, instance, future, enqueued))
+        self._queue = remaining
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            with self._ready:
+                while not self._should_flush():
+                    if self._closed and not self._queue:
+                        return
+                    if self._queue:
+                        oldest = self._queue[0][3]
+                        waited = perf_counter() - oldest
+                        self._ready.wait(
+                            timeout=max(self.max_wait_s - waited, 0.001))
+                    else:
+                        self._ready.wait()
+                if self._closed and not self._queue:
+                    return
+                batch = self._take_batch()
+            self._flush(batch)
+
+    def _flush(self, batch: List[Tuple[str, Any, Future]]) -> None:
+        task = batch[0][0]
+        instances = [instance for _, instance, _ in batch]
+        registry = get_registry()
+        registry.counter("serve.batches").inc()
+        registry.histogram("serve.batch_size").observe(len(batch))
+        try:
+            predictions = self.predictor.predict_batch(task, instances)
+        except Exception as error:  # propagate to every waiting caller
+            for _, _, future in batch:
+                future.set_exception(error)
+            return
+        for (_, _, future), prediction in zip(batch, predictions):
+            future.set_result(prediction)

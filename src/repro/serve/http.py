@@ -1,0 +1,219 @@
+"""Stdlib JSON-over-HTTP endpoint for the TUBE task predictor.
+
+Routes (all JSON):
+
+- ``POST /v1/<task>`` — body ``{"instances": [payload, ...]}`` (or
+  ``{"instance": {...}}``); each payload carries a ``Table.to_dict`` blob
+  plus the task's fields.  Responds ``{"task": ..., "predictions": [...]}``.
+- ``GET /healthz`` — liveness plus the served task list.
+- ``GET /metrics`` — the ``repro.obs`` metrics registry and encode-cache
+  counters.
+
+Requests are handled on :class:`ThreadingHTTPServer` threads but every
+prediction funnels through the single
+:class:`~repro.serve.batcher.MicroBatcher` worker, so concurrent clients
+get deterministic, data-race-free answers.  :class:`Client` boots a server
+on an ephemeral port inside the process — the test and smoke harness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import NullRegistry, enable_metrics, get_registry
+from repro.serve.batcher import MicroBatcher
+from repro.serve.predictor import Predictor
+
+API_PREFIX = "/v1/"
+
+
+class PredictionServer:
+    """Own the HTTP server plus the micro-batcher feeding the predictor."""
+
+    def __init__(self, predictor: Predictor, host: str = "127.0.0.1",
+                 port: int = 0, max_batch_size: int = 8,
+                 max_wait_ms: float = 5.0):
+        self.predictor = predictor
+        if isinstance(get_registry(), NullRegistry):
+            # /metrics is part of the contract; make sure it records.
+            enable_metrics()
+        self.batcher = MicroBatcher(predictor, max_batch_size=max_batch_size,
+                                    max_wait_ms=max_wait_ms)
+        handler = _build_handler(predictor, self.batcher)
+        self._http = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Block and serve until :meth:`shutdown` (the CLI path)."""
+        self._http.serve_forever()
+
+    def start(self) -> "PredictionServer":
+        """Serve on a background thread (the in-process / test path)."""
+        self._thread = threading.Thread(target=self._http.serve_forever,
+                                        daemon=True, name="repro-serve-http")
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop a background-threaded server (the :meth:`start` path)."""
+        self._http.shutdown()
+        self.close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def close(self) -> None:
+        """Release the socket and drain the batcher.  For the foreground
+        :meth:`serve_forever` path, call this after the loop exits (e.g.
+        on ``KeyboardInterrupt``) — ``shutdown()`` would deadlock there."""
+        self._http.server_close()
+        self.batcher.close()
+
+
+def _build_handler(predictor: Predictor, batcher: MicroBatcher):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing -----------------------------------------------------
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # metrics + journal carry the signal; stderr stays quiet
+
+        def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        # -- routes -------------------------------------------------------
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._respond(200, {"status": "ok",
+                                    "tasks": predictor.tasks})
+            elif self.path == "/metrics":
+                self._respond(200, {
+                    "metrics": get_registry().as_dict(),
+                    "encode_cache": predictor.cache_stats(),
+                })
+            else:
+                self._respond(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:
+            if not self.path.startswith(API_PREFIX):
+                self._respond(404, {"error": f"unknown path {self.path}"})
+                return
+            task = self.path[len(API_PREFIX):].strip("/")
+            try:
+                adapter = predictor.adapter_for(task)
+            except KeyError:
+                self._respond(404, {"error": f"unknown task {task!r}",
+                                    "tasks": predictor.tasks})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                request = json.loads(self.rfile.read(length) or b"{}")
+                payloads = self._payloads_of(request)
+                instances = [adapter.decode_instance(p) for p in payloads]
+            except (ValueError, KeyError, TypeError) as error:
+                self._respond(400, {"error": f"bad request: {error}"})
+                return
+            futures = [batcher.submit(task, instance)
+                       for instance in instances]
+            try:
+                predictions = [future.result() for future in futures]
+            except Exception as error:  # any failure -> 500, keep serving
+                self._respond(500, {"error": f"prediction failed: {error}"})
+                return
+            self._respond(200, {
+                "task": task,
+                "predictions": [adapter.encode_prediction(p)
+                                for p in predictions],
+            })
+
+        @staticmethod
+        def _payloads_of(request: Dict[str, Any]) -> List[Dict[str, Any]]:
+            if "instances" in request:
+                payloads = request["instances"]
+                if not isinstance(payloads, list):
+                    raise ValueError("'instances' must be a list")
+                return payloads
+            if "instance" in request:
+                return [request["instance"]]
+            raise ValueError("body must carry 'instance' or 'instances'")
+
+    return Handler
+
+
+class Client:
+    """In-process client: boots a :class:`PredictionServer` and speaks its
+    JSON protocol over a real socket (loopback, ephemeral port)."""
+
+    def __init__(self, predictor: Predictor, max_batch_size: int = 8,
+                 max_wait_ms: float = 5.0):
+        self.server = PredictionServer(predictor,
+                                       max_batch_size=max_batch_size,
+                                       max_wait_ms=max_wait_ms).start()
+
+    # -- HTTP plumbing ----------------------------------------------------
+    def _request(self, path: str, body: Optional[Dict[str, Any]] = None
+                 ) -> Tuple[int, Dict[str, Any]]:
+        url = self.server.url + path
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read() or b"{}")
+
+    # -- API --------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/healthz")[1]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("/metrics")[1]
+
+    def predict(self, task: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        status, response = self._request(API_PREFIX + task,
+                                         {"instance": payload})
+        if status != 200:
+            raise RuntimeError(f"predict({task!r}) -> {status}: {response}")
+        return response["predictions"][0]
+
+    def predict_batch(self, task: str, payloads: List[Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+        status, response = self._request(API_PREFIX + task,
+                                         {"instances": payloads})
+        if status != 200:
+            raise RuntimeError(f"predict_batch({task!r}) -> {status}: {response}")
+        return response["predictions"]
+
+    def post(self, task: str, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Raw POST for tests that assert on error statuses."""
+        return self._request(API_PREFIX + task, body)
+
+    def close(self) -> None:
+        self.server.shutdown()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

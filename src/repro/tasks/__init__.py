@@ -18,6 +18,7 @@ Schema augmentation    Tables 10–11             schema_augmentation
 
 from repro.tasks.metrics import (
     PrecisionRecallF1,
+    TaskMetrics,
     average_precision,
     mean_average_precision,
     precision_at_k,
@@ -25,6 +26,7 @@ from repro.tasks.metrics import (
 
 __all__ = [
     "PrecisionRecallF1",
+    "TaskMetrics",
     "average_precision",
     "mean_average_precision",
     "precision_at_k",

@@ -13,6 +13,7 @@ and the pre-trained MER head ranks the candidates (Eqn. 6).
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -26,7 +27,7 @@ from repro.data.corpus import TableCorpus
 from repro.data.table import Column, EntityCell, Table
 from repro.nn import eval_mode, no_grad
 from repro.obs import get_registry, trace
-from repro.tasks.metrics import precision_at_k
+from repro.tasks.metrics import TaskMetrics, precision_at_k
 from repro.tasks.schema_augmentation import normalize_header
 from repro.text.vocab import MASK_ID
 
@@ -221,9 +222,9 @@ class TURLCellFiller:
         order = np.argsort(-scores)
         return [candidates[int(i)] for i in order]
 
-    def evaluate_precision_at(self, instances: Sequence[FillingInstance],
-                              candidate_finder: CellFillingCandidates,
-                              ks: Sequence[int] = (1, 3, 5, 10)) -> Dict[int, float]:
+    def evaluate(self, instances: Sequence[FillingInstance],
+                 candidate_finder: CellFillingCandidates,
+                 ks: Sequence[int] = (1, 3, 5, 10)) -> TaskMetrics:
         """P@K over instances whose truth survives candidate finding."""
         per_k: Dict[int, List[float]] = {k: [] for k in ks}
         for instance in instances:
@@ -234,4 +235,17 @@ class TURLCellFiller:
             ranked = self.rank(instance, candidates)
             for k in ks:
                 per_k[k].append(precision_at_k(ranked, {instance.true_object}, k))
-        return {k: float(np.mean(v)) if v else 0.0 for k, v in per_k.items()}
+        values = {f"p@{k}": float(np.mean(v)) if v else 0.0
+                  for k, v in per_k.items()}
+        return TaskMetrics(task="cell_filling", values=values,
+                           primary=f"p@{min(ks)}" if ks else "")
+
+    def evaluate_precision_at(self, instances: Sequence[FillingInstance],
+                              candidate_finder: CellFillingCandidates,
+                              ks: Sequence[int] = (1, 3, 5, 10)) -> Dict[int, float]:
+        """Deprecated alias of :meth:`evaluate`; returns ``{k: P@K}``."""
+        warnings.warn("evaluate_precision_at() is deprecated; use "
+                      "evaluate(...).values['p@<k>']", DeprecationWarning,
+                      stacklevel=2)
+        metrics = self.evaluate(instances, candidate_finder, ks=ks)
+        return {k: metrics.values[f"p@{k}"] for k in ks}

@@ -15,6 +15,7 @@ row counts an instance correct whenever the truth is among the candidates.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -286,45 +287,62 @@ class TURLEntityLinker(Module):
         return EntityLinkingTask(self, instances)
 
     def finetune(self, instances: Sequence[LinkingInstance], epochs: int = 3,
-                 learning_rate: float = 1e-3, seed: int = 0,
+                 batch_size: int = 1, lr: float = 1e-3, seed: int = 0,
+                 spec: Optional[TrainSpec] = None,
                  max_instances: Optional[int] = None,
                  schedule: str = "constant",
                  gradient_clip: Optional[float] = None,
-                 journal: Optional[RunJournal] = None) -> List[float]:
+                 journal: Optional[RunJournal] = None,
+                 learning_rate: Optional[float] = None) -> List[float]:
         """Cross-entropy over candidates; all parameters are trained.
 
         Runs on the shared :class:`repro.train.Trainer`; returns per-epoch
         losses.  ``schedule="linear"`` / ``gradient_clip`` opt into the
-        paper's recipe; ``max_instances`` subsamples whole tables.
+        paper's recipe; ``max_instances`` subsamples whole tables.  An
+        explicit ``spec`` overrides the keyword recipe wholesale;
+        ``learning_rate`` is a deprecated alias of ``lr``.
         """
-        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
-                         schedule=schedule, gradient_clip=gradient_clip,
-                         seed=seed, max_items=max_instances)
+        if learning_rate is not None:
+            warnings.warn("finetune(learning_rate=...) is deprecated; "
+                          "pass lr=...", DeprecationWarning, stacklevel=2)
+            lr = learning_rate
+        if spec is None:
+            spec = TrainSpec(epochs=epochs, batch_size=batch_size,
+                             learning_rate=lr, schedule=schedule,
+                             gradient_clip=gradient_clip, seed=seed,
+                             max_items=max_instances)
         stats = Trainer(self.training_task(instances), spec,
                         journal=journal).fit()
         return stats.epoch_losses
 
     # -- inference -----------------------------------------------------------
-    def predict(self, instances: Sequence[LinkingInstance]) -> List[Optional[str]]:
+    def predict(self, instances: Sequence[LinkingInstance],
+                batch_size: Optional[int] = None) -> List[Optional[str]]:
+        """Disambiguate every mention; ``batch_size`` bounds how many table
+        groups are encoded per chunk (predictions are identical for any
+        value — each table is scored independently)."""
         by_table = group_by_table(enumerate(instances),
                                   table_of=lambda pair: pair[1].table)
+        groups = list(by_table.values())
+        chunk = batch_size if batch_size and batch_size > 0 else len(groups) or 1
         results: Dict[int, Optional[str]] = {}
         with trace("task/entity_linking/predict"), eval_mode(self), no_grad():
-            for group in by_table.values():
-                entity_hidden, coordinates = self._cell_hidden(group[0][1].table)
-                position_of = {coord: i for i, coord in enumerate(coordinates)}
-                for original_index, instance in group:
-                    if not instance.candidates:
-                        results[original_index] = None
-                        continue
-                    position = position_of.get((instance.row, instance.col))
-                    if position is None:
-                        results[original_index] = instance.candidates[0]
-                        continue
-                    scores = self._score_cell(entity_hidden[position],
-                                              instance.candidates,
-                                              instance.candidate_scores).data.reshape(-1)
-                    results[original_index] = instance.candidates[int(scores.argmax())]
+            for start in range(0, len(groups), chunk):
+                for group in groups[start:start + chunk]:
+                    entity_hidden, coordinates = self._cell_hidden(group[0][1].table)
+                    position_of = {coord: i for i, coord in enumerate(coordinates)}
+                    for original_index, instance in group:
+                        if not instance.candidates:
+                            results[original_index] = None
+                            continue
+                        position = position_of.get((instance.row, instance.col))
+                        if position is None:
+                            results[original_index] = instance.candidates[0]
+                            continue
+                        scores = self._score_cell(entity_hidden[position],
+                                                  instance.candidates,
+                                                  instance.candidate_scores).data.reshape(-1)
+                        results[original_index] = instance.candidates[int(scores.argmax())]
         return [results[i] for i in range(len(instances))]
 
     def evaluate(self, instances: Sequence[LinkingInstance]) -> PrecisionRecallF1:

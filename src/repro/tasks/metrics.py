@@ -9,8 +9,40 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+@dataclass
+class TaskMetrics:
+    """Uniform evaluation result shared by every task head's ``evaluate``.
+
+    ``values`` maps metric names to numbers (``{"map": 0.41}``,
+    ``{"p@1": ..., "p@3": ...}``); ``primary`` names the headline metric the
+    paper reports for the task.  Heads whose natural result is a single
+    number still return a ``TaskMetrics`` so callers — the serve layer, the
+    CLI, the benchmark harness — consume one shape for all six tasks.
+    """
+
+    task: str
+    values: Dict[str, float] = field(default_factory=dict)
+    primary: str = ""
+
+    @property
+    def primary_value(self) -> float:
+        """The headline metric (first value when ``primary`` is unset)."""
+        if self.primary:
+            return self.values[self.primary]
+        return next(iter(self.values.values()), 0.0)
+
+    def to_dict(self) -> Dict:
+        return {"task": self.task, "primary": self.primary,
+                "values": dict(self.values)}
+
+    def __str__(self) -> str:
+        rendered = " ".join(f"{name}={value:.4f}"
+                            for name, value in self.values.items())
+        return f"[{self.task}] {rendered}"
 
 
 @dataclass

@@ -10,6 +10,7 @@ with ``map_every`` set.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -188,22 +189,32 @@ class TURLRelationExtractor(Module):
         return RelationExtractionTask(self, dataset, map_instances=map_instances)
 
     def finetune(self, dataset: RelationDataset, epochs: int = 3,
-                 learning_rate: float = 1e-3, max_instances: Optional[int] = None,
-                 seed: int = 0, map_every: Optional[int] = None,
+                 batch_size: int = 1, lr: float = 1e-3, seed: int = 0,
+                 spec: Optional[TrainSpec] = None,
+                 max_instances: Optional[int] = None,
+                 map_every: Optional[int] = None,
                  map_instances: int = 40, schedule: str = "constant",
                  gradient_clip: Optional[float] = None,
-                 journal: Optional[RunJournal] = None) -> Dict[str, List[float]]:
+                 journal: Optional[RunJournal] = None,
+                 learning_rate: Optional[float] = None) -> Dict[str, List[float]]:
         """Fine-tune; optionally record validation MAP every ``map_every``
         steps (Figure 6).  Returns ``{"losses": [...], "map_steps": [...],
         "map_values": [...]}``.
 
         Runs on the shared :class:`repro.train.Trainer`; ``schedule="linear"``
-        / ``gradient_clip`` opt into the paper's recipe.
+        / ``gradient_clip`` opt into the paper's recipe.  An explicit ``spec``
+        overrides the keyword recipe wholesale; ``learning_rate`` is a
+        deprecated alias of ``lr``.
         """
-        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
-                         schedule=schedule, gradient_clip=gradient_clip,
-                         seed=seed, max_items=max_instances,
-                         eval_every=map_every)
+        if learning_rate is not None:
+            warnings.warn("finetune(learning_rate=...) is deprecated; "
+                          "pass lr=...", DeprecationWarning, stacklevel=2)
+            lr = learning_rate
+        if spec is None:
+            spec = TrainSpec(epochs=epochs, batch_size=batch_size,
+                             learning_rate=lr, schedule=schedule,
+                             gradient_clip=gradient_clip, seed=seed,
+                             max_items=max_instances, eval_every=map_every)
         task = self.training_task(dataset, map_instances=map_instances)
         stats = Trainer(task, spec, journal=journal).fit()
         return {"losses": stats.losses, "map_steps": stats.eval_steps,

@@ -15,6 +15,7 @@ the multi-label soft-margin loss of Eqn. 13.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -29,7 +30,7 @@ from repro.nn import Module, Parameter, Tensor, binary_cross_entropy_logits, eva
 from repro.obs import RunJournal, trace
 from repro.train import TrainableTask, Trainer, TrainSpec
 from repro.retrieval.bm25 import BM25Index
-from repro.tasks.metrics import mean_average_precision, recall_at_k
+from repro.tasks.metrics import TaskMetrics, mean_average_precision, recall_at_k
 from repro.text.vocab import SPECIAL_TOKENS
 
 _FIRST_REAL_ID = len(SPECIAL_TOKENS)
@@ -214,16 +215,29 @@ class TURLRowPopulator(Module):
 
     def finetune(self, instances: Sequence[PopulationInstance],
                  generator: PopulationCandidateGenerator, epochs: int = 2,
-                 learning_rate: float = 1e-3, max_instances: Optional[int] = None,
-                 max_candidates: int = 100, seed: int = 0,
+                 batch_size: int = 1, lr: float = 1e-3, seed: int = 0,
+                 spec: Optional[TrainSpec] = None,
+                 max_instances: Optional[int] = None,
+                 max_candidates: int = 100,
                  schedule: str = "constant",
                  gradient_clip: Optional[float] = None,
-                 journal: Optional[RunJournal] = None) -> List[float]:
+                 journal: Optional[RunJournal] = None,
+                 learning_rate: Optional[float] = None) -> List[float]:
         """Eqn. 13 fine-tuning on the shared :class:`repro.train.Trainer`;
-        returns per-epoch losses."""
-        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
-                         schedule=schedule, gradient_clip=gradient_clip,
-                         seed=seed, max_items=max_instances)
+        returns per-epoch losses.
+
+        An explicit ``spec`` overrides the keyword recipe wholesale;
+        ``learning_rate`` is a deprecated alias of ``lr``.
+        """
+        if learning_rate is not None:
+            warnings.warn("finetune(learning_rate=...) is deprecated; "
+                          "pass lr=...", DeprecationWarning, stacklevel=2)
+            lr = learning_rate
+        if spec is None:
+            spec = TrainSpec(epochs=epochs, batch_size=batch_size,
+                             learning_rate=lr, schedule=schedule,
+                             gradient_clip=gradient_clip, seed=seed,
+                             max_items=max_instances)
         task = self.training_task(instances, generator,
                                   max_candidates=max_candidates)
         stats = Trainer(task, spec, journal=journal).fit()
@@ -238,12 +252,24 @@ class TURLRowPopulator(Module):
         order = np.argsort(-logits)
         return [candidates[int(i)] for i in order]
 
-    def evaluate_map(self, instances: Sequence[PopulationInstance],
-                     generator: PopulationCandidateGenerator) -> float:
+    def evaluate(self, instances: Sequence[PopulationInstance],
+                 generator: PopulationCandidateGenerator) -> TaskMetrics:
+        """MAP over candidate rankings (paper Table 8)."""
         rankings = []
         truths = []
         for instance in instances:
             candidates = generator.candidates_for(instance)
             rankings.append(self.rank(instance, candidates))
             truths.append(instance.target_entities)
-        return mean_average_precision(rankings, truths)
+        return TaskMetrics(
+            task="row_population",
+            values={"map": mean_average_precision(rankings, truths)},
+            primary="map")
+
+    def evaluate_map(self, instances: Sequence[PopulationInstance],
+                     generator: PopulationCandidateGenerator) -> float:
+        """Deprecated alias of :meth:`evaluate`; returns the bare MAP."""
+        warnings.warn("evaluate_map() is deprecated; use "
+                      "evaluate(...).values['map']", DeprecationWarning,
+                      stacklevel=2)
+        return self.evaluate(instances, generator).primary_value

@@ -10,6 +10,7 @@ header-embedding matrix, fine-tuned with binary cross-entropy.
 from __future__ import annotations
 
 import re
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
@@ -24,7 +25,7 @@ from repro.data.table import Column, Table
 from repro.nn import Module, Parameter, Tensor, binary_cross_entropy_logits, eval_mode, no_grad
 from repro.obs import RunJournal, trace
 from repro.train import TrainableTask, Trainer, TrainSpec
-from repro.tasks.metrics import average_precision, mean_average_precision
+from repro.tasks.metrics import TaskMetrics, average_precision, mean_average_precision
 
 _WS = re.compile(r"\s+")
 
@@ -159,15 +160,28 @@ class TURLSchemaAugmenter(Module):
         return SchemaAugmentationTask(self, instances)
 
     def finetune(self, instances: Sequence[SchemaInstance], epochs: int = 2,
-                 learning_rate: float = 1e-3, max_instances: Optional[int] = None,
-                 seed: int = 0, schedule: str = "constant",
+                 batch_size: int = 1, lr: float = 1e-3, seed: int = 0,
+                 spec: Optional[TrainSpec] = None,
+                 max_instances: Optional[int] = None,
+                 schedule: str = "constant",
                  gradient_clip: Optional[float] = None,
-                 journal: Optional[RunJournal] = None) -> List[float]:
+                 journal: Optional[RunJournal] = None,
+                 learning_rate: Optional[float] = None) -> List[float]:
         """BCE fine-tuning on the shared :class:`repro.train.Trainer`;
-        returns per-epoch losses."""
-        spec = TrainSpec(epochs=epochs, learning_rate=learning_rate,
-                         schedule=schedule, gradient_clip=gradient_clip,
-                         seed=seed, max_items=max_instances)
+        returns per-epoch losses.
+
+        An explicit ``spec`` overrides the keyword recipe wholesale;
+        ``learning_rate`` is a deprecated alias of ``lr``.
+        """
+        if learning_rate is not None:
+            warnings.warn("finetune(learning_rate=...) is deprecated; "
+                          "pass lr=...", DeprecationWarning, stacklevel=2)
+            lr = learning_rate
+        if spec is None:
+            spec = TrainSpec(epochs=epochs, batch_size=batch_size,
+                             learning_rate=lr, schedule=schedule,
+                             gradient_clip=gradient_clip, seed=seed,
+                             max_items=max_instances)
         stats = Trainer(self.training_task(instances), spec,
                         journal=journal).fit()
         return stats.epoch_losses
@@ -180,10 +194,21 @@ class TURLSchemaAugmenter(Module):
         return [self.header_vocabulary[int(i)] for i in order
                 if self.header_vocabulary[int(i)] not in seeds]
 
-    def evaluate_map(self, instances: Sequence[SchemaInstance]) -> float:
+    def evaluate(self, instances: Sequence[SchemaInstance]) -> TaskMetrics:
+        """MAP over header rankings (paper Table 10)."""
         rankings = [self.rank(instance) for instance in instances]
         truths = [instance.target_headers for instance in instances]
-        return mean_average_precision(rankings, truths)
+        return TaskMetrics(
+            task="schema_augmentation",
+            values={"map": mean_average_precision(rankings, truths)},
+            primary="map")
+
+    def evaluate_map(self, instances: Sequence[SchemaInstance]) -> float:
+        """Deprecated alias of :meth:`evaluate`; returns the bare MAP."""
+        warnings.warn("evaluate_map() is deprecated; use "
+                      "evaluate(...).values['map']", DeprecationWarning,
+                      stacklevel=2)
+        return self.evaluate(instances).primary_value
 
     def average_precision_for(self, instance: SchemaInstance) -> float:
         """Per-query AP (paper Table 11 case study)."""

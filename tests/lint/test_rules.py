@@ -171,6 +171,50 @@ def test_evl001_resolves_in_file_base_chain():
     assert _rule_ids(result) == ["EVL001"]
 
 
+def test_evl001_delegation_is_transitive():
+    result = _lint("""
+        class Head(Module):
+            def rank(self, x):
+                with eval_mode(self), no_grad():
+                    return self.forward(x)
+
+            def evaluate(self, xs):
+                return [self.rank(x) for x in xs]
+
+            def evaluate_summary(self, xs):
+                return sum(self.evaluate(xs))
+    """)
+    assert result.ok
+
+
+# -- API001 -----------------------------------------------------------------
+
+def test_api001_flags_deprecated_shim_calls():
+    result = _lint("""
+        def report(head, instances, generator):
+            return head.evaluate_map(instances, generator)
+    """)
+    assert _rule_ids(result) == ["API001"]
+
+
+def test_api001_flags_precision_shim_and_learning_rate_keyword():
+    result = _lint("""
+        def run(filler, head, instances, candidates):
+            head.finetune(instances, learning_rate=1e-3)
+            return filler.evaluate_precision_at(instances, candidates)
+    """)
+    assert _rule_ids(result) == ["API001", "API001"]
+
+
+def test_api001_allows_canonical_calls():
+    result = _lint("""
+        def report(head, instances, generator):
+            head.finetune(instances, lr=1e-3)
+            return head.evaluate(instances, generator).primary_value
+    """)
+    assert result.ok
+
+
 # -- EVL002 -----------------------------------------------------------------
 
 def test_evl002_flags_bare_eval_call():

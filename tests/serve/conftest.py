@@ -1,0 +1,28 @@
+"""Serving fixtures: one six-task bundle built from the session context."""
+
+import pytest
+
+from repro.obs import disable_metrics, enable_metrics
+from repro.serve import build_serving_bundle
+
+
+@pytest.fixture(scope="package", autouse=True)
+def _recording_metrics():
+    """Serve tests assert on /metrics; record for the package, then restore
+    the no-op default so the rest of the suite stays instrument-free."""
+    registry = enable_metrics()
+    yield registry
+    disable_metrics()
+
+
+@pytest.fixture(scope="session")
+def bundle(context):
+    """All six adapters over one cloned model, shared encode cache on."""
+    return build_serving_bundle(context.clone_model(), context.linearizer,
+                                context.kb, context.splits, seed=0,
+                                n_examples=4)
+
+
+@pytest.fixture(scope="session")
+def predictor(bundle):
+    return bundle.predictor

@@ -1,0 +1,86 @@
+"""Adapter parity: the uniform surface is bit-identical to the legacy
+entry points, for every one of the six tasks, and the JSON codecs
+round-trip real instances losslessly.
+"""
+
+import json
+
+import pytest
+
+TASKS = ("entity_linking", "column_type", "relation_extraction",
+         "row_population", "cell_filling", "schema_augmentation")
+
+
+def _legacy_outputs(adapter, instances):
+    """Call the wrapped head exactly as pre-serve code would."""
+    task = adapter.task_name
+    if task == "entity_linking":
+        return adapter.head.predict(instances)
+    if task == "column_type":
+        return [sorted(types) for types in
+                adapter.head.predict(instances, adapter.dataset)]
+    if task == "relation_extraction":
+        return [sorted(relations) for relations in
+                adapter.head.predict(instances, adapter.dataset)]
+    if task == "row_population":
+        return [adapter.head.rank(instance,
+                                  adapter.generator.candidates_for(instance))
+                for instance in instances]
+    if task == "cell_filling":
+        outputs = []
+        for instance in instances:
+            candidates = [c for c, _ in adapter.candidate_finder.candidates_for(
+                instance.subject_id, instance.object_header)]
+            outputs.append(adapter.head.rank(instance, candidates))
+        return outputs
+    if task == "schema_augmentation":
+        return [adapter.head.rank(instance) for instance in instances]
+    raise AssertionError(f"unknown task {task}")
+
+
+@pytest.mark.parametrize("task", TASKS)
+def test_predict_batch_matches_legacy_entry_point(bundle, task):
+    adapter = bundle.predictor.adapter_for(task)
+    instances = bundle.examples[task]
+    assert instances, f"no example instances for {task}"
+    served = [p.output for p in adapter.predict_batch(instances)]
+    assert served == _legacy_outputs(adapter, instances)
+
+
+@pytest.mark.parametrize("task", TASKS)
+def test_predict_one_is_the_batch_special_case(bundle, task):
+    adapter = bundle.predictor.adapter_for(task)
+    instance = bundle.examples[task][0]
+    one = adapter.predict_one(instance)
+    assert one.task == task
+    assert one.output == adapter.predict_batch([instance])[0].output
+
+
+@pytest.mark.parametrize("task", TASKS)
+def test_instance_codec_round_trips_through_json(bundle, task):
+    adapter = bundle.predictor.adapter_for(task)
+    instance = bundle.examples[task][0]
+    payload = json.loads(json.dumps(adapter.encode_instance(instance)))
+    assert adapter.decode_instance(payload) == instance
+
+
+@pytest.mark.parametrize("task", TASKS)
+def test_prediction_payload_is_json_safe(bundle, task):
+    adapter = bundle.predictor.adapter_for(task)
+    prediction = adapter.predict_one(bundle.examples[task][0])
+    payload = adapter.encode_prediction(prediction)
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["task"] == task
+
+
+def test_predictor_dispatch_and_unknown_task(bundle, predictor):
+    instance = bundle.examples["schema_augmentation"][0]
+    direct = predictor.adapter_for("schema_augmentation").predict_one(instance)
+    routed = predictor.predict("schema_augmentation", instance)
+    assert routed.output == direct.output
+    with pytest.raises(KeyError):
+        predictor.adapter_for("no_such_task")
+
+
+def test_predictor_serves_all_six_tasks(predictor):
+    assert predictor.tasks == sorted(TASKS)

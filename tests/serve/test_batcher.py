@@ -1,0 +1,115 @@
+"""MicroBatcher semantics against a stub predictor: flush on size, flush
+on deadline, per-task grouping, error propagation, and a graceful close.
+The stub records every batch it receives, so the tests assert on actual
+flush boundaries rather than timing.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+class StubPredictor:
+    """Records batches; optionally blocks until released or raises."""
+
+    def __init__(self, error=None):
+        self.batches = []
+        self.error = error
+        self.release = threading.Event()
+        self.release.set()
+
+    def predict_batch(self, task, instances):
+        self.release.wait(timeout=10)
+        if self.error is not None:
+            raise self.error
+        self.batches.append((task, list(instances)))
+        return [f"{task}:{instance}" for instance in instances]
+
+
+def test_flush_on_batch_size():
+    stub = StubPredictor()
+    stub.release.clear()  # hold the worker so submissions pile up
+    with MicroBatcher(stub, max_batch_size=3, max_wait_ms=60_000) as batcher:
+        futures = [batcher.submit("t", i) for i in range(3)]
+        stub.release.set()
+        results = [future.result(timeout=10) for future in futures]
+    assert results == ["t:0", "t:1", "t:2"]
+    assert stub.batches == [("t", [0, 1, 2])]  # one flush, well before the deadline
+
+
+def test_flush_on_deadline_with_partial_batch():
+    stub = StubPredictor()
+    with MicroBatcher(stub, max_batch_size=100, max_wait_ms=20) as batcher:
+        future = batcher.submit("t", 7)
+        assert future.result(timeout=10) == "t:7"  # deadline, not size, fired
+    assert stub.batches == [("t", [7])]
+
+
+def test_batches_group_by_task_preserving_order():
+    stub = StubPredictor()
+    stub.release.clear()
+    with MicroBatcher(stub, max_batch_size=4, max_wait_ms=10) as batcher:
+        futures = [batcher.submit(task, i) for i, task in
+                   enumerate(["a", "b", "a", "b"])]
+        stub.release.set()
+        results = [future.result(timeout=10) for future in futures]
+    assert results == ["a:0", "b:1", "a:2", "b:3"]
+    # Every flushed batch is single-task, and per-task order is preserved.
+    flushed = {}
+    for task, instances in stub.batches:
+        flushed.setdefault(task, []).extend(instances)
+    assert flushed == {"a": [0, 2], "b": [1, 3]}
+
+
+def test_oversized_burst_splits_into_max_size_batches():
+    stub = StubPredictor()
+    stub.release.clear()
+    with MicroBatcher(stub, max_batch_size=2, max_wait_ms=200) as batcher:
+        futures = [batcher.submit("t", i) for i in range(5)]
+        stub.release.set()
+        assert [f.result(timeout=10) for f in futures] == \
+            [f"t:{i}" for i in range(5)]
+    assert all(len(instances) <= 2 for _, instances in stub.batches)
+    assert sum(len(instances) for _, instances in stub.batches) == 5
+    assert [i for _, batch in stub.batches for i in batch] == list(range(5))
+
+
+def test_prediction_errors_propagate_to_every_future():
+    stub = StubPredictor(error=RuntimeError("boom"))
+    stub.release.clear()
+    with MicroBatcher(stub, max_batch_size=2, max_wait_ms=60_000) as batcher:
+        futures = [batcher.submit("t", i) for i in range(2)]
+        stub.release.set()
+        for future in futures:
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10)
+
+
+def test_close_flushes_pending_and_rejects_new_work():
+    stub = StubPredictor()
+    batcher = MicroBatcher(stub, max_batch_size=100, max_wait_ms=60_000)
+    future = batcher.submit("t", 1)
+    batcher.close()  # deadline far away: close itself must flush
+    assert future.result(timeout=10) == "t:1"
+    with pytest.raises(RuntimeError):
+        batcher.submit("t", 2)
+    batcher.close()  # idempotent
+
+
+def test_concurrent_submitters_all_resolve():
+    stub = StubPredictor()
+    results = {}
+
+    def worker(i):
+        results[i] = batcher.predict("t", i)
+
+    with MicroBatcher(stub, max_batch_size=4, max_wait_ms=5) as batcher:
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert results == {i: f"t:{i}" for i in range(8)}
+    assert sum(len(instances) for _, instances in stub.batches) == 8

@@ -1,0 +1,118 @@
+"""EncodeCache behavior: keying, hit/miss accounting, LRU eviction, and
+the model-side gating that keeps cached activations out of training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import encode_table
+from repro.nn import Tensor, eval_mode, no_grad
+from repro.serve import EncodeCache
+
+
+def _batch(seed, n=6):
+    rng = np.random.default_rng(seed)
+    return {
+        "token_ids": rng.integers(0, 50, size=(1, n)),
+        "entity_ids": rng.integers(0, 20, size=(1, n)),
+        "visibility": rng.integers(0, 2, size=(1, 2 * n, 2 * n)).astype(bool),
+    }
+
+
+def _value(seed, n=4):
+    rng = np.random.default_rng(seed)
+    return (Tensor(rng.normal(size=(1, n, 8))), Tensor(rng.normal(size=(1, n, 8))))
+
+
+def test_keying_is_content_based():
+    batch = _batch(0)
+    same = {name: value.copy() for name, value in batch.items()}
+    assert EncodeCache.key_for(batch, True) == EncodeCache.key_for(same, True)
+    assert EncodeCache.key_for(batch, True) != EncodeCache.key_for(batch, False)
+    perturbed = {name: value.copy() for name, value in batch.items()}
+    perturbed["entity_ids"][0, 0] += 1
+    assert EncodeCache.key_for(batch, True) != EncodeCache.key_for(perturbed, True)
+
+
+def test_hit_miss_accounting_and_identity():
+    cache = EncodeCache(capacity=8)
+    key = cache.key_for(_batch(0), True)
+    assert cache.get(key) is None
+    value = _value(0)
+    cache.put(key, value)
+    hit = cache.get(key)
+    assert hit is not None
+    assert hit[0] is value[0] and hit[1] is value[1]
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1 and stats["hit_rate"] == 0.5
+
+
+def test_cached_tensors_are_read_only():
+    cache = EncodeCache(capacity=2)
+    value = _value(1)
+    cache.put(b"k", value)
+    with pytest.raises(ValueError):
+        value[0].data[...] = 0.0  # lint: disable=TEN001(asserting the read-only flag on cached activations)
+
+
+def test_lru_eviction_keeps_recently_used():
+    cache = EncodeCache(capacity=2)
+    cache.put(b"a", _value(1))
+    cache.put(b"b", _value(2))
+    assert cache.get(b"a") is not None  # refresh "a"; "b" is now oldest
+    cache.put(b"c", _value(3))
+    assert len(cache) == 2
+    assert cache.get(b"b") is None
+    assert cache.get(b"a") is not None and cache.get(b"c") is not None
+
+
+def test_clear_resets_entries_and_counters():
+    cache = EncodeCache(capacity=2)
+    cache.put(b"a", _value(1))
+    cache.get(b"a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+
+
+def test_model_encode_uses_cache_only_in_inference_mode(context):
+    model = context.clone_model()
+    table = context.splits.test.tables[0]
+    _, batch = encode_table(context.linearizer, table)
+    model.encode_cache = EncodeCache(capacity=4)
+
+    with eval_mode(model), no_grad():
+        first = model.encode(batch)
+        second = model.encode(batch)
+    assert second[0] is first[0] and second[1] is first[1]
+    assert model.encode_cache.stats() == {
+        "hits": 1, "misses": 1, "entries": 1, "capacity": 4, "hit_rate": 0.5}
+    np.testing.assert_array_equal(first[0].data, second[0].data)
+
+    # Training mode (or live gradients) must bypass the cache entirely.
+    stats_before = model.encode_cache.stats()
+    trained = model.encode(batch)  # default mode: training, grads on
+    assert trained[0] is not first[0]
+    assert model.encode_cache.stats() == stats_before
+    with eval_mode(model):
+        graded = model.encode(batch)  # eval mode but grads still enabled
+    assert graded[0] is not first[0]
+    assert model.encode_cache.stats() == stats_before
+
+
+def test_cached_encode_is_bit_identical_to_uncached(context):
+    model = context.clone_model()
+    table = context.splits.test.tables[1]
+    _, batch = encode_table(context.linearizer, table)
+    with eval_mode(model), no_grad():
+        plain = model.encode(batch)
+        model.encode_cache = EncodeCache(capacity=4)
+        cached = model.encode(batch)
+    np.testing.assert_array_equal(plain[0].data, cached[0].data)
+    np.testing.assert_array_equal(plain[1].data, cached[1].data)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EncodeCache(capacity=0)

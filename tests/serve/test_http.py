@@ -1,0 +1,93 @@
+"""HTTP round-trips through the in-process Client: every task answers over
+a real loopback socket, error paths return typed statuses, /metrics
+reflects traffic, and concurrent clients get deterministic answers.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import Client
+
+TASKS = ("entity_linking", "column_type", "relation_extraction",
+         "row_population", "cell_filling", "schema_augmentation")
+
+
+@pytest.fixture(scope="module")
+def client(predictor):
+    with Client(predictor, max_batch_size=4, max_wait_ms=5.0) as active:
+        yield active
+
+
+def test_healthz_reports_all_tasks(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert sorted(health["tasks"]) == sorted(TASKS)
+
+
+@pytest.mark.parametrize("task", TASKS)
+def test_round_trip_matches_in_process_prediction(bundle, client, task):
+    adapter = bundle.predictor.adapter_for(task)
+    instance = bundle.examples[task][0]
+    expected = adapter.predict_one(instance)
+    answer = client.predict(task, adapter.encode_instance(instance))
+    assert answer == {"task": task, "output": expected.output}
+
+
+def test_batch_request_round_trips(bundle, client):
+    adapter = bundle.predictor.adapter_for("column_type")
+    instances = bundle.examples["column_type"][:3]
+    payloads = [adapter.encode_instance(instance) for instance in instances]
+    answers = client.predict_batch("column_type", payloads)
+    expected = adapter.predict_batch(instances)
+    assert [a["output"] for a in answers] == [p.output for p in expected]
+
+
+def test_unknown_task_is_404(client):
+    status, body = client.post("no_such_task", {"instance": {}})
+    assert status == 404
+    assert sorted(body["tasks"]) == sorted(TASKS)
+
+
+def test_malformed_payload_is_400(client):
+    status, body = client.post("entity_linking", {"instance": {"row": 0}})
+    assert status == 400 and "bad request" in body["error"]
+    status, body = client.post("entity_linking", {"wrong_key": []})
+    assert status == 400
+    status, body = client.post("entity_linking", {"instances": "not-a-list"})
+    assert status == 400
+
+
+def test_metrics_expose_requests_latency_and_cache(bundle, client):
+    adapter = bundle.predictor.adapter_for("schema_augmentation")
+    payload = adapter.encode_instance(bundle.examples["schema_augmentation"][0])
+    client.predict("schema_augmentation", payload)
+    client.predict("schema_augmentation", payload)  # repeat: cache material
+    metrics = client.metrics()
+    names = metrics["metrics"]
+    assert names["serve.requests.schema_augmentation"]["value"] >= 2
+    assert names["serve.latency.schema_augmentation"]["count"] >= 2
+    assert metrics["encode_cache"]["enabled"] == 1.0
+    assert metrics["encode_cache"]["hits"] > 0
+    assert 0.0 < metrics["encode_cache"]["hit_rate"] <= 1.0
+
+
+def test_concurrent_requests_are_deterministic(bundle, client):
+    """Hammer the server from threads; every answer must equal the serial
+    single-threaded prediction for its instance."""
+    adapter = bundle.predictor.adapter_for("entity_linking")
+    instances = bundle.examples["entity_linking"]
+    expected = [p.output for p in adapter.predict_batch(instances)]
+    payloads = [adapter.encode_instance(instance) for instance in instances]
+
+    answers = {}
+    def worker(i):
+        answers[i] = client.predict("entity_linking",
+                                    payloads[i % len(payloads)])["output"]
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert answers == {i: expected[i % len(expected)] for i in range(12)}

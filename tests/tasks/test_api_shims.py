@@ -1,0 +1,84 @@
+"""Deprecation shims of the old task-evaluation API.
+
+Each renamed entry point (``evaluate_map`` / ``evaluate_precision_at`` /
+``finetune(learning_rate=...)``) must keep its exact legacy return shape,
+emit a ``DeprecationWarning``, and agree with the canonical
+``evaluate(...) -> TaskMetrics`` result.
+"""
+
+import pytest
+
+from repro.baselines.entitables import EntiTablesRowPopulator, KNNSchemaAugmenter
+from repro.tasks.cell_filling import (
+    CellFillingCandidates,
+    HeaderStatistics,
+    TURLCellFiller,
+    build_filling_instances,
+)
+from repro.tasks.row_population import (
+    PopulationCandidateGenerator,
+    build_population_instances,
+)
+from repro.tasks.schema_augmentation import (
+    TURLSchemaAugmenter,
+    build_header_vocabulary,
+    build_schema_instances,
+)
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    context = request.getfixturevalue("context")
+    generator = PopulationCandidateGenerator(context.splits.train)
+    instances = build_population_instances(context.splits.test, n_seed=1,
+                                           min_subject_entities=3)
+    return context, generator, instances
+
+
+def test_evaluate_map_shim_warns_and_matches(population):
+    context, generator, instances = population
+    populator = EntiTablesRowPopulator(context.splits.train)
+    canonical = populator.evaluate(instances[:8], generator)
+    with pytest.warns(DeprecationWarning):
+        legacy = populator.evaluate_map(instances[:8], generator)  # lint: disable=API001(exercises the deprecation shim on purpose)
+    assert legacy == canonical.primary_value == canonical.values["map"]
+
+
+def test_schema_evaluate_map_shim_warns_and_matches(request):
+    context = request.getfixturevalue("context")
+    vocabulary = build_header_vocabulary(context.splits.train, min_tables=2)
+    instances = build_schema_instances(context.splits.test, vocabulary,
+                                       n_seed=0)
+    knn = KNNSchemaAugmenter(context.splits.train)
+    canonical = knn.evaluate(instances[:8], vocabulary)
+    with pytest.warns(DeprecationWarning):
+        legacy = knn.evaluate_map(instances[:8], vocabulary)  # lint: disable=API001(exercises the deprecation shim on purpose)
+    assert legacy == canonical.primary_value
+
+
+def test_evaluate_precision_at_shim_warns_and_matches(request):
+    context = request.getfixturevalue("context")
+    instances = build_filling_instances(context.splits.test)[:10]
+    statistics = HeaderStatistics(context.splits.train)
+    candidates = CellFillingCandidates(context.splits.train, statistics)
+    filler = TURLCellFiller(context.model, context.linearizer)
+    canonical = filler.evaluate(instances, candidates)
+    with pytest.warns(DeprecationWarning):
+        legacy = filler.evaluate_precision_at(instances, candidates)  # lint: disable=API001(exercises the deprecation shim on purpose)
+    assert set(legacy) == {1, 3, 5, 10}
+    assert all(legacy[k] == canonical.values[f"p@{k}"] for k in legacy)
+
+
+def test_finetune_learning_rate_alias_warns(request):
+    context = request.getfixturevalue("context")
+    vocabulary = build_header_vocabulary(context.splits.train, min_tables=2)
+    instances = build_schema_instances(context.splits.train, vocabulary,
+                                       n_seed=0)[:2]
+    augmenter = TURLSchemaAugmenter(context.clone_model(), context.linearizer,
+                                    vocabulary)
+    with pytest.warns(DeprecationWarning):
+        deprecated = augmenter.finetune(instances, epochs=1, learning_rate=1e-3)  # lint: disable=API001(exercises the deprecated keyword on purpose)
+    aliased = TURLSchemaAugmenter(context.clone_model(), context.linearizer,
+                                  vocabulary)
+    canonical = aliased.finetune(instances, epochs=1, lr=1e-3)
+    assert deprecated == canonical

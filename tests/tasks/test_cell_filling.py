@@ -124,6 +124,7 @@ def test_turl_filler_ranks_with_mer(filling):
 def test_turl_filler_precision_at(filling):
     context, _, candidates, instances = filling
     filler = TURLCellFiller(context.model, context.linearizer)
-    per_k = filler.evaluate_precision_at(instances[:30], candidates)
-    assert set(per_k) == {1, 3, 5, 10}
-    assert per_k[10] >= per_k[1]
+    metrics = filler.evaluate(instances[:30], candidates)
+    assert set(metrics.values) == {"p@1", "p@3", "p@5", "p@10"}
+    assert metrics.primary == "p@1"
+    assert metrics.values["p@10"] >= metrics.values["p@1"]

@@ -92,7 +92,7 @@ def test_turl_linker_finetune_and_predict(linking):
     context, _, train, test = linking
     linker = TURLEntityLinker(context.clone_model(), context.linearizer,
                               context.kb, all_types())
-    losses = linker.finetune(train, epochs=2, learning_rate=5e-4)
+    losses = linker.finetune(train, epochs=2, lr=5e-4)
     assert losses[-1] < losses[0]
     predictions = linker.predict(test[:20])
     assert len(predictions) == 20

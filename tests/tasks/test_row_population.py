@@ -77,8 +77,9 @@ def test_entitables_seed_vs_caption_modes(population):
                                                min_subject_entities=5)
         if not instances:
             continue
-        value = populator.evaluate_map(instances[:10], generator)
-        assert 0.0 <= value <= 1.0
+        metrics = populator.evaluate(instances[:10], generator)
+        assert metrics.task == "row_population"
+        assert 0.0 <= metrics.values["map"] <= 1.0
 
 
 def test_table2vec_requires_seeds(population):
@@ -87,12 +88,12 @@ def test_table2vec_requires_seeds(population):
         train_entity_embeddings(context.splits.train, epochs=1))
     no_seed = build_population_instances(context.splits.test, n_seed=0,
                                          min_subject_entities=5)
-    assert populator.evaluate_map(no_seed[:5], generator) is None
+    assert populator.evaluate(no_seed[:5], generator) is None
     one_seed = build_population_instances(context.splits.test, n_seed=1,
                                           min_subject_entities=5)
     if one_seed:
-        value = populator.evaluate_map(one_seed[:5], generator)
-        assert value is not None and 0.0 <= value <= 1.0
+        metrics = populator.evaluate(one_seed[:5], generator)
+        assert metrics is not None and 0.0 <= metrics.primary_value <= 1.0
 
 
 def test_turl_populator_ranks_all_candidates(population):

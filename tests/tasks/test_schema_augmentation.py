@@ -68,8 +68,9 @@ def test_knn_map_reasonable(schema):
     context, vocabulary = schema
     knn = KNNSchemaAugmenter(context.splits.train)
     instances = build_schema_instances(context.splits.test, vocabulary, n_seed=0)
-    value = knn.evaluate_map(instances[:15], vocabulary)
-    assert 0.0 <= value <= 1.0
+    metrics = knn.evaluate(instances[:15], vocabulary)
+    assert metrics.task == "schema_augmentation"
+    assert 0.0 <= metrics.values["map"] <= 1.0
 
 
 def test_turl_augmenter_finetunes_and_ranks(schema):
@@ -82,8 +83,8 @@ def test_turl_augmenter_finetunes_and_ranks(schema):
     assert losses[-1] < losses[0]
     ranked = augmenter.rank(test[0])
     assert set(ranked) <= set(vocabulary)
-    value = augmenter.evaluate_map(test[:10])
-    assert 0.0 <= value <= 1.0
+    metrics = augmenter.evaluate(test[:10])
+    assert 0.0 <= metrics.primary_value <= 1.0
 
 
 def test_turl_augmenter_header_embeddings_initialized(schema):

@@ -131,6 +131,20 @@ def test_bench_command_rejects_unknown_case(capsys):
     assert "unknown bench case" in capsys.readouterr().out
 
 
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "--checkpoint", "ckpt"])
+    assert args.handler is not None
+    assert (args.host, args.port) == ("127.0.0.1", 8080)
+    assert args.max_batch_size == 8 and args.max_wait_ms == 5.0
+    assert args.no_cache is False and args.cache_size == 256
+    assert args.finetune_epochs == 0
+
+
+def test_serve_requires_checkpoint():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve"])
+
+
 def test_pretrain_bucket_shuffle(capsys, tmp_path):
     checkpoint = str(tmp_path / "ckpt")
     assert main(["pretrain", "--seed", "3", "--tables", "40", "--epochs", "1",

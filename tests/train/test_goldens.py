@@ -65,7 +65,7 @@ def test_column_type_finetune_matches_pre_refactor(request):
     annotator = TURLColumnTypeAnnotator(context.clone_model(),
                                         context.linearizer,
                                         len(full.type_names), seed=0)
-    losses = annotator.finetune(dataset, epochs=2, learning_rate=1e-3, seed=0)
+    losses = annotator.finetune(dataset, epochs=2, lr=1e-3, seed=0)
     assert losses == COLUMN_TYPE_LOSSES
     assert _state_hash(annotator) == COLUMN_TYPE_HASH
 
@@ -77,7 +77,6 @@ def test_schema_augmentation_finetune_matches_pre_refactor(request):
                                        n_seed=1)[:30]
     augmenter = TURLSchemaAugmenter(context.clone_model(), context.linearizer,
                                     vocabulary, seed=0)
-    losses = augmenter.finetune(instances, epochs=2, learning_rate=1e-3,
-                                seed=0)
+    losses = augmenter.finetune(instances, epochs=2, lr=1e-3, seed=0)
     assert losses == SCHEMA_LOSSES
     assert _state_hash(augmenter) == SCHEMA_HASH
