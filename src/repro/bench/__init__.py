@@ -16,7 +16,11 @@ makes that measurable and regression-proof:
   optimized kernel for its committed ``_reference_*`` twin so end-to-end
   speedups are measured against real, runnable baselines;
 - :mod:`repro.bench.report` — the ``BENCH_<name>.json`` reporter and a
-  human-readable text table.
+  human-readable text table;
+- :mod:`repro.bench.compare` — the regression gate: diff a fresh report
+  against a committed ``BENCH_*.json`` baseline on the machine-independent
+  speedup ratio with per-case tolerance (``repro.cli bench --compare-to``,
+  enforced by the CI ``bench-gate`` job).
 
 Every optimization measured here is bit-identical to its reference (proven
 by ``tests/bench/test_equivalence.py``); the benchmark exists to show the
@@ -26,6 +30,13 @@ speed difference, not a behaviour difference.  Run via
 
 from repro.bench.runner import BenchCase, CaseResult, run_cases
 from repro.bench.cases import default_cases
+from repro.bench.compare import (
+    CaseComparison,
+    ComparisonReport,
+    compare_report_files,
+    compare_reports,
+    format_comparison,
+)
 from repro.bench.reference import reference_mode
 from repro.bench.report import format_report, report_to_dict, write_report
 
@@ -38,4 +49,9 @@ __all__ = [
     "format_report",
     "report_to_dict",
     "write_report",
+    "CaseComparison",
+    "ComparisonReport",
+    "compare_reports",
+    "compare_report_files",
+    "format_comparison",
 ]

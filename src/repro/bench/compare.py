@@ -1,0 +1,183 @@
+"""Regression gate: diff a fresh bench report against a committed baseline.
+
+:func:`compare_reports` pairs cases by name and compares the
+machine-independent **speedup** ratio (optimized vs. in-repo reference
+implementation) when both reports carry one, falling back to raw
+throughput otherwise.  Speedup is the right cross-commit metric: absolute
+seconds shift with the host, but the optimized/reference ratio is measured
+on the same machine in the same run, so a drop means the optimized path
+itself got slower.
+
+A case regresses when ``current / baseline < 1 - tolerance`` (default 5%).
+``repro.cli bench --compare-to BENCH_pr5.json`` runs a fresh bench, prints
+the comparison table and exits non-zero on any regression — the CI
+``bench-gate`` job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass
+class CaseComparison:
+    """One case's baseline-vs-current verdict."""
+
+    name: str
+    #: which number was compared: "speedup" or "throughput"
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline; > 1 means the case got better."""
+        return self.current / self.baseline if self.baseline else 0.0
+
+    @property
+    def change(self) -> float:
+        """Signed fractional change (-0.08 = 8% worse)."""
+        return self.ratio - 1.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio < 1.0 - self.tolerance
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": self.ratio,
+            "change": self.change,
+            "tolerance": self.tolerance,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """Every paired case plus cases only one report knows about."""
+
+    baseline_name: str
+    current_name: str
+    cases: List[CaseComparison] = field(default_factory=list)
+    #: baseline cases the current run did not execute (e.g. ``--only``)
+    missing: List[str] = field(default_factory=list)
+    #: current cases the baseline has no entry for (new benchmarks)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        return [case for case in self.cases if case.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_name,
+            "current": self.current_name,
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+            "missing": self.missing,
+            "added": self.added,
+        }
+
+
+def _case_metric(case: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    """Pick the comparison metric for one case dict (prefer speedup)."""
+    speedup = case.get("speedup")
+    if speedup:
+        return {"metric": "speedup", "value": float(speedup)}
+    throughput = case.get("throughput")
+    if throughput:
+        return {"metric": "throughput", "value": float(throughput)}
+    return None
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    per_case: Optional[Dict[str, float]] = None
+                    ) -> ComparisonReport:
+    """Diff two ``report_to_dict`` payloads case by case.
+
+    ``per_case`` overrides the tolerance for individual case names (e.g.
+    ``{"pretrain_steps": 0.02}`` to hold the training hot path to 2%).
+    Cases are compared on speedup when **both** sides carry one, on
+    throughput when both carry that instead, and skipped (reported under
+    ``missing``/``added``) when only one side knows the case.
+    """
+    per_case = per_case or {}
+    current_cases = {c["name"]: c for c in current.get("cases", [])}
+    baseline_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    report = ComparisonReport(
+        baseline_name=str(baseline.get("bench", "?")),
+        current_name=str(current.get("bench", "?")))
+    for name in sorted(baseline_cases):
+        if name not in current_cases:
+            report.missing.append(name)
+            continue
+        base = _case_metric(baseline_cases[name])
+        cur = _case_metric(current_cases[name])
+        if base is None or cur is None:
+            continue
+        if base["metric"] != cur["metric"]:
+            # One report gained/lost its reference twin; fall back to the
+            # metric both sides still share.
+            base = {"metric": "throughput",
+                    "value": float(baseline_cases[name].get("throughput", 0.0))}
+            cur = {"metric": "throughput",
+                   "value": float(current_cases[name].get("throughput", 0.0))}
+            if not base["value"] or not cur["value"]:
+                continue
+        report.cases.append(CaseComparison(
+            name=name, metric=base["metric"], baseline=base["value"],
+            current=cur["value"],
+            tolerance=per_case.get(name, tolerance)))
+    report.added = sorted(set(current_cases) - set(baseline_cases))
+    return report
+
+
+def compare_report_files(current_path: str, baseline_path: str,
+                         tolerance: float = DEFAULT_TOLERANCE,
+                         per_case: Optional[Dict[str, float]] = None
+                         ) -> ComparisonReport:
+    """File-path convenience wrapper over :func:`compare_reports`."""
+    with open(current_path) as handle:
+        current = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    return compare_reports(current, baseline, tolerance=tolerance,
+                           per_case=per_case)
+
+
+def format_comparison(report: ComparisonReport) -> str:
+    """Fixed-width verdict table, one line per paired case."""
+    header = (f"{'case':<22} {'metric':<11} {'baseline':>12} "
+              f"{'current':>12} {'change':>9} {'verdict':>8}")
+    lines = [f"bench compare: {report.current_name} vs "
+             f"baseline {report.baseline_name}",
+             header, "-" * len(header)]
+    for case in report.cases:
+        verdict = "REGRESS" if case.regressed else "ok"
+        lines.append(
+            f"{case.name:<22} {case.metric:<11} {case.baseline:>12.3f} "
+            f"{case.current:>12.3f} {case.change:>+8.1%} {verdict:>8}")
+    for name in report.missing:
+        lines.append(f"{name:<22} {'-':<11} {'?':>12} {'absent':>12} "
+                     f"{'-':>9} {'skip':>8}")
+    for name in report.added:
+        lines.append(f"{name:<22} {'-':<11} {'absent':>12} {'?':>12} "
+                     f"{'-':>9} {'new':>8}")
+    n = len(report.regressions)
+    lines.append(f"{'PASS' if report.ok else 'FAIL'}: {n} regression(s) "
+                 f"across {len(report.cases)} compared case(s)")
+    return "\n".join(lines)

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli registry                         # experiment index
     python -m repro.cli lint src tests                   # static analysis
     python -m repro.cli bench --json BENCH_dev.json      # hot-path benchmarks
+    python -m repro.cli bench --compare-to BENCH_pr5.json  # regression gate
+    python -m repro.cli profile --memory                 # per-layer cost
     python -m repro.cli serve --checkpoint ckpt/         # JSON HTTP endpoint
 
 ``pretrain`` and ``finetune`` accept ``--sanitize`` to run every training
@@ -319,7 +321,11 @@ def _cmd_registry(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import default_cases, format_report, run_cases, write_report
+    import json
+
+    from repro.bench import (compare_reports, default_cases,
+                             format_comparison, format_report, report_to_dict,
+                             run_cases, write_report)
 
     cases = default_cases()
     if args.only:
@@ -336,6 +342,75 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         write_report(args.json, args.name, results, args.warmup, args.repeat)
         print(f"report written to {args.json}")
+    if args.compare_to:
+        try:
+            with open(args.compare_to) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read baseline {args.compare_to}: {error}")
+            return 1
+        per_case = {}
+        for entry in args.case_tolerance or []:
+            name, _, value = entry.partition("=")
+            try:
+                per_case[name] = float(value)
+            except ValueError:
+                print(f"bad --case-tolerance {entry!r} (want NAME=FRACTION)")
+                return 1
+        payload = report_to_dict(args.name, results, args.warmup, args.repeat)
+        comparison = compare_reports(payload, baseline,
+                                     tolerance=args.tolerance,
+                                     per_case=per_case)
+        print(format_comparison(comparison))
+        if args.compare_json:
+            with open(args.compare_json, "w") as handle:
+                json.dump(comparison.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"comparison written to {args.compare_json}")
+        if not comparison.ok:
+            return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.config import TURLConfig
+    from repro.core.candidates import CandidateBuilder
+    from repro.core.linearize import Linearizer
+    from repro.core.model import TURLModel
+    from repro.core.pretrain import Pretrainer
+    from repro.data.preprocessing import filter_relational
+    from repro.data.synthesis import SynthesisConfig, build_corpus
+    from repro.kb.generator import WorldConfig, generate_world
+    from repro.obs import format_layer_table, format_profile_tree, profile
+    from repro.text.tokenizer import WordPieceTokenizer
+    from repro.text.vocab import EntityVocabulary
+
+    config = TURLConfig(num_layers=args.layers, dim=32, intermediate_dim=64,
+                        num_heads=2, batch_size=8)
+    kb = generate_world(WorldConfig(seed=args.seed))
+    corpus = filter_relational(build_corpus(
+        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+    tokenizer = WordPieceTokenizer.train(corpus.metadata_texts(),
+                                         vocab_size=1200)
+    entity_vocab = EntityVocabulary.build_from_counts(corpus.entity_counts(),
+                                                      min_frequency=2)
+    linearizer = Linearizer(tokenizer, entity_vocab, config)
+    instances = [linearizer.encode(table) for table in corpus]
+    instances = instances[:args.max_tables]
+    builder = CandidateBuilder(corpus, entity_vocab, config)
+    model = TURLModel(len(tokenizer.vocab), len(entity_vocab), config,
+                      seed=args.seed)
+    pretrainer = Pretrainer(model, instances, builder, config, seed=args.seed)
+    with profile(model, memory=args.memory) as profiler:
+        stats = pretrainer.train(n_epochs=1)
+    print(f"profiled {stats.steps} pre-training steps "
+          f"over {len(instances)} tables "
+          f"({config.num_layers}-layer d={config.dim} model)")
+    print()
+    print(format_profile_tree(profiler))
+    print()
+    print(format_layer_table(profiler, limit=args.top))
     return 0
 
 
@@ -459,7 +534,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench name recorded in the JSON report")
     bench.add_argument("--json", default=None,
                        help="write a BENCH_<name>.json report to this path")
+    bench.add_argument("--compare-to", default=None,
+                       help="diff this run against a committed BENCH_*.json "
+                            "baseline; exit non-zero on regression")
+    bench.add_argument("--tolerance", type=float, default=0.05,
+                       help="allowed fractional regression per case "
+                            "(default 0.05 = 5%%)")
+    bench.add_argument("--case-tolerance", action="append", default=None,
+                       metavar="NAME=FRACTION",
+                       help="override the tolerance for one case, e.g. "
+                            "pretrain_steps=0.02 (repeatable); "
+                            "sub-millisecond kernels need wider bands "
+                            "than end-to-end cases")
+    bench.add_argument("--compare-json", default=None,
+                       help="also write the comparison verdict as JSON")
     bench.set_defaults(handler=_cmd_bench)
+
+    prof = commands.add_parser(
+        "profile", help="per-layer forward/backward cost of a small "
+                        "pre-training run")
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--tables", type=int, default=120,
+                      help="corpus size to synthesize")
+    prof.add_argument("--max-tables", type=int, default=24,
+                      help="tables actually trained on (one epoch)")
+    prof.add_argument("--layers", type=int, default=2)
+    prof.add_argument("--memory", action="store_true",
+                      help="also attribute peak traced-allocation bytes "
+                           "per layer (tracemalloc)")
+    prof.add_argument("--top", type=int, default=0,
+                      help="limit the flat table to the N costliest layers")
+    prof.set_defaults(handler=_cmd_profile)
 
     lint = commands.add_parser("lint", help="run the repo's static analyzer")
     lint.add_argument("paths", nargs="*", default=["src"])

@@ -19,6 +19,8 @@ DEF001    no mutable default arguments
 EXC001    no bare ``except:``
 API001    no in-repo calls to deprecated API shims (``evaluate_map`` /
           ``evaluate_precision_at`` / ``finetune(learning_rate=...)``)
+OBS002    span / metric names are lowercase ``[a-z0-9_]`` segments joined
+          by ``/`` or ``.`` (``area/verb``, ``serve.latency.<task>``)
 LNT000    every ``# lint: disable=RULE(...)`` suppression carries a reason
 ========  ==================================================================
 

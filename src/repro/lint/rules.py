@@ -10,6 +10,7 @@ the module docstring of :mod:`repro.lint` for the table.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -39,6 +40,17 @@ EVAL_ENTRY_NAMES = ("predict", "evaluate", "rank")
 #: Method names kept only as deprecation shims for the uniform
 #: ``evaluate(...) -> TaskMetrics`` API (API001).
 DEPRECATED_SHIM_CALLS = {"evaluate_map", "evaluate_precision_at"}
+
+#: Module-level helpers whose first string argument names a span (OBS002).
+OBS_NAME_FUNCTIONS = {"trace", "start_trace"}
+#: Method names whose first string argument names a span/metric (OBS002):
+#: ``tracer.span`` and the four registry instrument factories.
+OBS_NAME_METHODS = {"span", "counter", "gauge", "histogram", "timer"}
+#: Full-name convention: lowercase ``[a-z0-9_]`` segments joined by "/" or
+#: "." — the layout the tracer tree report and Prometheus exporter assume.
+OBS_NAME_PATTERN = re.compile(r"^[a-z0-9_]+(?:[./][a-z0-9_]+)*$")
+#: What the constant fragments of an f-string name may contain.
+OBS_FRAGMENT_PATTERN = re.compile(r"^[a-z0-9_./]*$")
 
 
 def _is_eval_entry(name: str) -> bool:
@@ -115,6 +127,11 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in [
          "use the uniform `evaluate(...) -> TaskMetrics` entry point (or "
          "`finetune(lr=...)`) instead of the deprecation shim",
          _everywhere),
+    Rule("OBS002", "metric-name-style",
+         "span/metric name is not a lowercase slash/dot path",
+         "name spans and metrics as lowercase [a-z0-9_] segments joined by "
+         "'/' or '.' (`area/verb`, `serve.latency.<task>`)",
+         _in_repro),
     Rule("LNT000", "suppression-without-reason",
          "lint suppression without a written reason",
          "write `# lint: disable=RULE(reason)` — the reason is mandatory",
@@ -215,7 +232,36 @@ class _RuleVisitor(ast.NodeVisitor):
                 self._flag("API001", node,
                            "`finetune(learning_rate=...)` is deprecated — "
                            "pass `lr=...`")
+        self._check_obs_name(node, dotted)
         self.generic_visit(node)
+
+    # -- OBS002 ------------------------------------------------------------
+    def _check_obs_name(self, node: ast.Call, dotted: Optional[str]) -> None:
+        if not self._active.get("OBS002") or not node.args:
+            return
+        if isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+            named = callee in OBS_NAME_METHODS or callee in OBS_NAME_FUNCTIONS
+        else:
+            callee = (dotted or "").split(".")[-1]
+            named = callee in OBS_NAME_FUNCTIONS
+        if not named:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if not OBS_NAME_PATTERN.match(first.value):
+                self._flag("OBS002", node,
+                           f"span/metric name {first.value!r} is not a "
+                           "lowercase slash/dot path")
+        elif isinstance(first, ast.JoinedStr):
+            for piece in first.values:
+                if (isinstance(piece, ast.Constant)
+                        and isinstance(piece.value, str)
+                        and not OBS_FRAGMENT_PATTERN.match(piece.value)):
+                    self._flag("OBS002", node,
+                               f"span/metric name fragment {piece.value!r} "
+                               "is not lowercase slash/dot")
+                    break
 
     def _check_rng(self, node: ast.Call, dotted: str) -> None:
         if dotted.startswith("numpy.random."):

@@ -20,6 +20,7 @@ from repro.nn.tensor import (
     no_grad,
     is_grad_enabled,
 )
+from repro.nn.hooks import FORWARD_HOOK, TAPE_HOOK, ForwardHook, TapeHook
 from repro.nn.sanitize import (
     SanitizerError,
     assert_finite_module,
@@ -54,6 +55,10 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "FORWARD_HOOK",
+    "TAPE_HOOK",
+    "ForwardHook",
+    "TapeHook",
     "SanitizerError",
     "sanitize_ops",
     "sanitizer_enabled",

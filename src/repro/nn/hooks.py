@@ -1,0 +1,89 @@
+"""Instrumentation hook points for the module system and autograd tape.
+
+Two process-global hooks let an external profiler observe the nn substrate
+without the substrate importing it (``repro.obs`` depends on nothing in
+``repro.nn``, and the dependency must not reverse):
+
+- :data:`FORWARD_HOOK` — entered/exited around every ``Module.__call__``.
+  The profiler installs ``enter(module)`` / ``exit(module)`` callbacks and
+  attributes wall time + peak memory to the module's path.
+- :data:`TAPE_HOOK` — consulted by :meth:`Tensor._make` to tag each tape
+  node with the layer that created it (``tag()``), and by
+  :meth:`Tensor.backward` to run a node's backward closure under the
+  profiler's timing wrapper (``run(tag, backward_fn, grad)``).
+
+Both hooks are disabled by default; the disabled-path cost is one
+attribute read per module call / tape node.  This module performs no clock
+reads itself — timing lives in the installer (``repro.obs.profiler``), so
+the single-clock-gateway rule (CLK001) holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+def _noop_module(module: Any) -> None:
+    return None
+
+
+def _noop_tag() -> Optional[Any]:
+    return None
+
+
+def _passthrough_run(tag: Any, backward_fn: Callable, grad: Any) -> None:
+    backward_fn(grad)
+
+
+class ForwardHook:
+    """Enter/exit callbacks wrapped around every ``Module.__call__``."""
+
+    __slots__ = ("enabled", "enter", "exit")
+
+    def __init__(self):
+        self.enabled = False
+        self.enter: Callable[[Any], None] = _noop_module
+        self.exit: Callable[[Any], None] = _noop_module
+
+    def install(self, enter: Callable[[Any], None],
+                exit: Callable[[Any], None]) -> None:
+        if self.enabled:
+            raise RuntimeError("a forward hook is already installed")
+        self.enter = enter
+        self.exit = exit
+        self.enabled = True
+
+    def uninstall(self) -> None:
+        self.enabled = False
+        self.enter = _noop_module
+        self.exit = _noop_module
+
+
+class TapeHook:
+    """Tape-node tagging plus a timing wrapper for backward closures."""
+
+    __slots__ = ("enabled", "tag", "run")
+
+    def __init__(self):
+        self.enabled = False
+        #: returns the tag (layer path) for tensors created right now
+        self.tag: Callable[[], Optional[Any]] = _noop_tag
+        #: runs ``backward_fn(grad)`` attributing its cost to ``tag``
+        self.run: Callable[[Any, Callable, Any], None] = _passthrough_run
+
+    def install(self, tag: Callable[[], Optional[Any]],
+                run: Callable[[Any, Callable, Any], None]) -> None:
+        if self.enabled:
+            raise RuntimeError("a tape hook is already installed")
+        self.tag = tag
+        self.run = run
+        self.enabled = True
+
+    def uninstall(self) -> None:
+        self.enabled = False
+        self.tag = _noop_tag
+        self.run = _passthrough_run
+
+
+FORWARD_HOOK = ForwardHook()
+TAPE_HOOK = TapeHook()

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.hooks import FORWARD_HOOK
 from repro.nn.sanitize import SANITIZER, SanitizerError
 from repro.nn.tensor import Parameter, Tensor
 
@@ -55,6 +56,22 @@ class Module:
                 for item in value:
                     if isinstance(item, Module):
                         yield from item.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted.path, module)`` pairs, this module included.
+
+        List/tuple children are addressed by index, matching the naming of
+        :meth:`named_parameters` (``encoder.blocks.3.attention``).
+        """
+        yield prefix.rstrip("."), self
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(prefix=f"{full}.{i}.")
 
     # -- train/eval mode ----------------------------------------------
     def train(self) -> "Module":
@@ -100,15 +117,29 @@ class Module:
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
+    def _instrumented_call(self, *args, **kwargs):
+        hooked = FORWARD_HOOK.enabled
+        if hooked:
+            FORWARD_HOOK.enter(self)
+        try:
+            if SANITIZER.enabled:
+                # Attribute sanitizer failures to the module path: each
+                # enclosing module prepends its class name, so a NaN raised
+                # deep inside an op surfaces as e.g.
+                # "TURLModel: TransformerBlock: ...".
+                try:
+                    return self.forward(*args, **kwargs)
+                except SanitizerError as error:
+                    raise SanitizerError(
+                        f"{type(self).__name__}: {error}") from None
+            return self.forward(*args, **kwargs)
+        finally:
+            if hooked:
+                FORWARD_HOOK.exit(self)
+
     def __call__(self, *args, **kwargs):
-        if SANITIZER.enabled:
-            # Attribute sanitizer failures to the module path: each enclosing
-            # module prepends its class name, so a NaN raised deep inside an
-            # op surfaces as e.g. "TURLModel: TransformerBlock: ...".
-            try:
-                return self.forward(*args, **kwargs)
-            except SanitizerError as error:
-                raise SanitizerError(f"{type(self).__name__}: {error}") from None
+        if SANITIZER.enabled or FORWARD_HOOK.enabled:
+            return self._instrumented_call(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
 

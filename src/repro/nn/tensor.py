@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.hooks import TAPE_HOOK
 from repro.nn.sanitize import (
     SANITIZER,
     SanitizerError,
@@ -84,7 +85,7 @@ class Tensor:
     """
 
     __slots__ = ("_data", "grad", "requires_grad", "_backward", "_parents",
-                 "_version", "_op", "_tape_guard")
+                 "_version", "_op", "_tape_guard", "_tape_path")
 
     def __init__(
         self,
@@ -103,6 +104,7 @@ class Tensor:
         self._backward = _backward
         self._op: Optional[str] = None
         self._tape_guard = None
+        self._tape_path = None
 
     @property
     def data(self) -> np.ndarray:
@@ -176,6 +178,8 @@ class Tensor:
         if SANITIZER.enabled:
             out._op = op_name(backward)
             out._tape_guard = record_tape_guard(out._parents)
+        if TAPE_HOOK.enabled:
+            out._tape_path = TAPE_HOOK.tag()
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -229,6 +233,8 @@ class Tensor:
                 "topological sweep visited a node twice; the tape is corrupt")
 
         self._accumulate(grad)
+        # Snapshot once: a hook toggled mid-backward must not split the pass.
+        tape_hook = TAPE_HOOK if TAPE_HOOK.enabled else None
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 if sanitizing:
@@ -237,7 +243,10 @@ class Tensor:
                     assert_finite_array(
                         node.grad,
                         f"gradient flowing into op '{node._op or '<leaf>'}'")
-                node._backward(node.grad)
+                if tape_hook is not None and node._tape_path is not None:
+                    tape_hook.run(node._tape_path, node._backward, node.grad)
+                else:
+                    node._backward(node.grad)
 
     # ------------------------------------------------------------------
     # Arithmetic

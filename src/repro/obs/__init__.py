@@ -1,4 +1,4 @@
-"""Observability: metrics, tracing spans, and the JSONL run journal.
+"""Observability: metrics, tracing, trace contexts, profiling, journal.
 
 A dependency-free measurement layer for the training / inference stack:
 
@@ -7,9 +7,18 @@ A dependency-free measurement layer for the training / inference stack:
   ``NullRegistry`` by default, so instrumented code is free when
   observability is off);
 - :mod:`repro.obs.tracing` — nestable ``with trace("a/b/c"):`` spans that
-  aggregate per-path totals and render a tree report;
+  aggregate per-path totals, plus request-scoped ``TraceContext`` records
+  (trace id + parent-linked spans with start/end offsets) carried in a
+  ``contextvars.ContextVar`` and handed across threads with
+  ``capture_context`` / ``adopt_context``;
+- :mod:`repro.obs.profiler` — opt-in per-layer forward/backward time and
+  peak-memory attribution over any ``Module`` tree, rendered as a
+  flame-style tree or per-layer table;
+- :mod:`repro.obs.prometheus` — ``format_prometheus(registry)`` text
+  exposition (``text/plain; version=0.0.4``) for standard scrapers;
 - :mod:`repro.obs.journal` — a JSONL ``RunJournal`` (header + per-step +
-  probe events) replayable for convergence plots and ``repro.cli report``.
+  probe + trace + request events) replayable for convergence plots and
+  ``repro.cli report``.
 
 Everything here reads only the monotonic / wall clock — never a random
 number generator — so seeded results are bit-identical with
@@ -21,9 +30,10 @@ Usage::
 
     registry = obs.enable_metrics()
     tracer = obs.enable_tracing()
-    with obs.trace("pretrain/step/forward"):
-        ...
-    print(obs.format_metrics(registry))
+    with obs.start_trace("serve/entity_linking") as ctx:
+        with obs.trace("serve/predict"):
+            ...
+    print(obs.format_prometheus(registry))
     print(tracer.report())
 """
 
@@ -31,7 +41,9 @@ from repro.obs.clock import perf_counter, wall_time
 from repro.obs.journal import (
     EVENT_HEADER,
     EVENT_PROBE,
+    EVENT_REQUEST,
     EVENT_STEP,
+    EVENT_TRACE,
     JournalSummary,
     PhaseTiming,
     RunJournal,
@@ -52,13 +64,29 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.profiler import (
+    LayerProfiler,
+    LayerStats,
+    format_layer_table,
+    format_profile_tree,
+    profile,
+)
+from repro.obs.prometheus import CONTENT_TYPE, format_prometheus, sanitize_name
 from repro.obs.tracing import (
+    ContextSnapshot,
+    SpanRecord,
     SpanStats,
+    TraceContext,
     Tracer,
+    adopt_context,
+    capture_context,
+    current_trace,
     disable_tracing,
     enable_tracing,
     get_tracer,
+    new_trace_id,
     set_tracer,
+    start_trace,
     trace,
 )
 
@@ -76,13 +104,29 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "format_metrics",
+    "CONTENT_TYPE",
+    "format_prometheus",
+    "sanitize_name",
     "SpanStats",
+    "SpanRecord",
+    "TraceContext",
+    "ContextSnapshot",
     "Tracer",
     "trace",
+    "start_trace",
+    "current_trace",
+    "capture_context",
+    "adopt_context",
+    "new_trace_id",
     "get_tracer",
     "set_tracer",
     "enable_tracing",
     "disable_tracing",
+    "LayerProfiler",
+    "LayerStats",
+    "profile",
+    "format_profile_tree",
+    "format_layer_table",
     "RunJournal",
     "read_journal",
     "summarize_journal",
@@ -92,4 +136,6 @@ __all__ = [
     "EVENT_HEADER",
     "EVENT_STEP",
     "EVENT_PROBE",
+    "EVENT_TRACE",
+    "EVENT_REQUEST",
 ]

@@ -23,6 +23,8 @@ from typing import Any, Dict, IO, List, Optional, Sequence
 EVENT_HEADER = "header"
 EVENT_STEP = "step"
 EVENT_PROBE = "probe"
+EVENT_TRACE = "trace"
+EVENT_REQUEST = "http_request"
 
 PHASES = ("forward", "backward", "optimizer")
 

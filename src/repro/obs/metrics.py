@@ -103,6 +103,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "min": self.minimum,
             "max": self.maximum,
         }
@@ -293,13 +294,14 @@ def format_metrics(registry: Optional[MetricsRegistry] = None,
     """Plain-text metrics table (``repro.evaluation.reporting`` style)."""
     registry = registry if registry is not None else _registry
     lines = [f"{'Metric':{name_width}s}{'Count':>8s}{'Total':>12s}"
-             f"{'Mean':>12s}{'P50':>12s}{'P95':>12s}"]
+             f"{'Mean':>12s}{'P50':>12s}{'P95':>12s}{'P99':>12s}"]
     for name in registry.names():
         instrument = registry.get(name)
         if isinstance(instrument, Histogram):
             s = instrument.summary()
             lines.append(f"{name:{name_width}s}{int(s['count']):8d}{s['total']:12.4f}"
-                         f"{s['mean']:12.4f}{s['p50']:12.4f}{s['p95']:12.4f}")
+                         f"{s['mean']:12.4f}{s['p50']:12.4f}{s['p95']:12.4f}"
+                         f"{s['p99']:12.4f}")
         else:
             lines.append(f"{name:{name_width}s}{'':8s}{instrument.value:12.4f}")
     return "\n".join(lines)

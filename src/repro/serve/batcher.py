@@ -26,10 +26,22 @@ from typing import Any, Deque, List, Optional, Tuple
 
 from repro.obs import get_registry
 from repro.obs.clock import perf_counter
+from repro.obs.tracing import ContextSnapshot, capture_context
+
+#: One queued request: task, instance, future, enqueue perf time, and the
+#: submitter's captured trace context (for cross-thread span attribution).
+_Item = Tuple[str, Any, "Future", float, ContextSnapshot]
 
 
 class MicroBatcher:
-    """Queue ``(task, instance)`` requests; flush them in task batches."""
+    """Queue ``(task, instance)`` requests; flush them in task batches.
+
+    Each :meth:`submit` captures the caller's trace context
+    (:func:`repro.obs.capture_context`); the worker thread attributes a
+    ``serve/queue`` span (time spent waiting for a batch) and a
+    ``serve/predict`` span (the batch execution window) back to every
+    originating request trace, so a request traced through the batcher
+    still yields a single connected trace."""
 
     def __init__(self, predictor, max_batch_size: int = 8,
                  max_wait_ms: float = 5.0):
@@ -40,7 +52,7 @@ class MicroBatcher:
         self.predictor = predictor
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_ms / 1000.0
-        self._queue: Deque[Tuple[str, Any, Future, float]] = deque()
+        self._queue: Deque[_Item] = deque()
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._closed = False
@@ -52,10 +64,12 @@ class MicroBatcher:
     def submit(self, task: str, instance: Any) -> "Future":
         """Enqueue one instance; resolve its prediction via the future."""
         future: Future = Future()
+        snapshot = capture_context()
         with self._ready:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            self._queue.append((task, instance, future, perf_counter()))
+            self._queue.append((task, instance, future, perf_counter(),
+                                snapshot))
             self._ready.notify()
         return future
 
@@ -85,7 +99,7 @@ class MicroBatcher:
         if not self._queue:
             return 0
         head_task = self._queue[0][0]
-        return sum(1 for task, _, _, _ in self._queue if task == head_task)
+        return sum(1 for item in self._queue if item[0] == head_task)
 
     def _should_flush(self) -> bool:
         if not self._queue:
@@ -97,18 +111,18 @@ class MicroBatcher:
         oldest = self._queue[0][3]
         return perf_counter() - oldest >= self.max_wait_s
 
-    def _take_batch(self) -> List[Tuple[str, Any, Future]]:
+    def _take_batch(self) -> List[_Item]:
         """Pop up to ``max_batch_size`` queued items of the head task,
         preserving arrival order (other tasks stay queued)."""
         head_task = self._queue[0][0]
-        batch: List[Tuple[str, Any, Future]] = []
-        remaining: Deque[Tuple[str, Any, Future, float]] = deque()
+        batch: List[_Item] = []
+        remaining: Deque[_Item] = deque()
         while self._queue:
-            task, instance, future, enqueued = self._queue.popleft()
-            if task == head_task and len(batch) < self.max_batch_size:
-                batch.append((task, instance, future))
+            item = self._queue.popleft()
+            if item[0] == head_task and len(batch) < self.max_batch_size:
+                batch.append(item)
             else:
-                remaining.append((task, instance, future, enqueued))
+                remaining.append(item)
         self._queue = remaining
         return batch
 
@@ -130,17 +144,29 @@ class MicroBatcher:
                 batch = self._take_batch()
             self._flush(batch)
 
-    def _flush(self, batch: List[Tuple[str, Any, Future]]) -> None:
+    def _flush(self, batch: List[_Item]) -> None:
         task = batch[0][0]
-        instances = [instance for _, instance, _ in batch]
+        instances = [item[1] for item in batch]
         registry = get_registry()
         registry.counter("serve.batches").inc()
         registry.histogram("serve.batch_size").observe(len(batch))
+        flush_start = perf_counter()
         try:
             predictions = self.predictor.predict_batch(task, instances)
         except Exception as error:  # propagate to every waiting caller
-            for _, _, future in batch:
-                future.set_exception(error)
+            self._attribute_spans(batch, flush_start)
+            for item in batch:
+                item[2].set_exception(error)
             return
-        for (_, _, future), prediction in zip(batch, predictions):
-            future.set_result(prediction)
+        self._attribute_spans(batch, flush_start)
+        for item, prediction in zip(batch, predictions):
+            item[2].set_result(prediction)
+
+    @staticmethod
+    def _attribute_spans(batch: List[_Item], flush_start: float) -> None:
+        """Record queue-wait and batch-execution spans into every item's
+        originating trace context (no-ops for untraced submitters)."""
+        flush_end = perf_counter()
+        for _, _, _, enqueued, snapshot in batch:
+            snapshot.add_span("serve/queue", enqueued, flush_start)
+            snapshot.add_span("serve/predict", flush_start, flush_end)

@@ -1,13 +1,22 @@
 """Stdlib JSON-over-HTTP endpoint for the TUBE task predictor.
 
-Routes (all JSON):
+Routes:
 
 - ``POST /v1/<task>`` — body ``{"instances": [payload, ...]}`` (or
   ``{"instance": {...}}``); each payload carries a ``Table.to_dict`` blob
   plus the task's fields.  Responds ``{"task": ..., "predictions": [...]}``.
 - ``GET /healthz`` — liveness plus the served task list.
 - ``GET /metrics`` — the ``repro.obs`` metrics registry and encode-cache
-  counters.
+  counters as JSON; ``GET /metrics?format=prometheus`` — the same registry
+  in Prometheus text exposition (``text/plain; version=0.0.4``).
+
+Every ``/v1`` request runs under its own trace context: the response
+carries an ``X-Request-Id`` header with the trace id, the completed trace
+streams to the predictor's journal as an ``EVENT_TRACE`` record (spans:
+``serve/decode`` → ``serve/wait`` with the batcher-attributed
+``serve/queue`` / ``serve/predict`` children → ``serve/respond``), one
+``EVENT_REQUEST`` journal event summarizes (task, status, latency,
+trace id), and 500 bodies echo the trace id for correlation.
 
 Requests are handled on :class:`ThreadingHTTPServer` threads but every
 prediction funnels through the single
@@ -21,11 +30,21 @@ from __future__ import annotations
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs import NullRegistry, enable_metrics, get_registry
+from repro.obs import (
+    EVENT_REQUEST,
+    NullRegistry,
+    enable_metrics,
+    format_prometheus,
+    get_registry,
+    start_trace,
+    trace,
+)
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.serve.batcher import MicroBatcher
 from repro.serve.predictor import Predictor
 
@@ -92,20 +111,41 @@ def _build_handler(predictor: Predictor, batcher: MicroBatcher):
         def log_message(self, format: str, *args: Any) -> None:
             pass  # metrics + journal carry the signal; stderr stays quiet
 
-        def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+        def _respond(self, status: int, payload: Dict[str, Any],
+                     trace_id: Optional[str] = None) -> None:
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if trace_id is not None:
+                self.send_header("X-Request-Id", trace_id)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _respond_text(self, status: int, text: str,
+                          content_type: str) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
 
         # -- routes -------------------------------------------------------
         def do_GET(self) -> None:
-            if self.path == "/healthz":
+            parsed = urllib.parse.urlsplit(self.path)
+            if parsed.path == "/healthz":
                 self._respond(200, {"status": "ok",
                                     "tasks": predictor.tasks})
-            elif self.path == "/metrics":
+            elif parsed.path == "/metrics":
+                query = urllib.parse.parse_qs(parsed.query)
+                if query.get("format", [""])[0] == "prometheus":
+                    registry = get_registry()
+                    for key, value in predictor.cache_stats().items():
+                        registry.gauge(f"serve.encode_cache.{key}").set(value)
+                    self._respond_text(200, format_prometheus(registry),
+                                       PROMETHEUS_CONTENT_TYPE)
+                    return
                 self._respond(200, {
                     "metrics": get_registry().as_dict(),
                     "encode_cache": predictor.cache_stats(),
@@ -118,32 +158,53 @@ def _build_handler(predictor: Predictor, batcher: MicroBatcher):
                 self._respond(404, {"error": f"unknown path {self.path}"})
                 return
             task = self.path[len(API_PREFIX):].strip("/")
+            with start_trace(f"serve/{task}",
+                             journal=predictor.journal) as context:
+                status, n_instances = self._predict_route(task,
+                                                          context.trace_id)
+            if predictor.journal is not None:
+                predictor.journal.event(EVENT_REQUEST, task=task,
+                                        status=status,
+                                        seconds=context.wall_seconds,
+                                        trace_id=context.trace_id,
+                                        instances=n_instances)
+
+        def _predict_route(self, task: str,
+                           trace_id: str) -> Tuple[int, int]:
+            """Serve one ``/v1/<task>`` request; returns (status, n)."""
             try:
                 adapter = predictor.adapter_for(task)
             except KeyError:
                 self._respond(404, {"error": f"unknown task {task!r}",
-                                    "tasks": predictor.tasks})
-                return
+                                    "tasks": predictor.tasks}, trace_id)
+                return 404, 0
             length = int(self.headers.get("Content-Length", 0))
             try:
-                request = json.loads(self.rfile.read(length) or b"{}")
-                payloads = self._payloads_of(request)
-                instances = [adapter.decode_instance(p) for p in payloads]
+                with trace("serve/decode"):
+                    request = json.loads(self.rfile.read(length) or b"{}")
+                    payloads = self._payloads_of(request)
+                    instances = [adapter.decode_instance(p)
+                                 for p in payloads]
             except (ValueError, KeyError, TypeError) as error:
-                self._respond(400, {"error": f"bad request: {error}"})
-                return
-            futures = [batcher.submit(task, instance)
-                       for instance in instances]
-            try:
-                predictions = [future.result() for future in futures]
-            except Exception as error:  # any failure -> 500, keep serving
-                self._respond(500, {"error": f"prediction failed: {error}"})
-                return
-            self._respond(200, {
-                "task": task,
-                "predictions": [adapter.encode_prediction(p)
-                                for p in predictions],
-            })
+                self._respond(400, {"error": f"bad request: {error}"},
+                              trace_id)
+                return 400, 0
+            with trace("serve/wait"):
+                futures = [batcher.submit(task, instance)
+                           for instance in instances]
+                try:
+                    predictions = [future.result() for future in futures]
+                except Exception as error:  # any failure -> 500, keep serving
+                    self._respond(500, {"error": f"prediction failed: {error}",
+                                        "trace_id": trace_id}, trace_id)
+                    return 500, len(instances)
+            with trace("serve/respond"):
+                self._respond(200, {
+                    "task": task,
+                    "predictions": [adapter.encode_prediction(p)
+                                    for p in predictions],
+                }, trace_id)
+            return 200, len(instances)
 
         @staticmethod
         def _payloads_of(request: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -170,17 +231,23 @@ class Client:
                                        max_wait_ms=max_wait_ms).start()
 
     # -- HTTP plumbing ----------------------------------------------------
-    def _request(self, path: str, body: Optional[Dict[str, Any]] = None
-                 ) -> Tuple[int, Dict[str, Any]]:
+    def _request_raw(self, path: str, body: Optional[Dict[str, Any]] = None
+                     ) -> Tuple[int, bytes, Dict[str, str]]:
         url = self.server.url + path
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             url, data=data, headers={"Content-Type": "application/json"})
         try:
             with urllib.request.urlopen(request) as response:
-                return response.status, json.loads(response.read())
+                return (response.status, response.read(),
+                        dict(response.headers))
         except urllib.error.HTTPError as error:
-            return error.code, json.loads(error.read() or b"{}")
+            return error.code, error.read() or b"{}", dict(error.headers)
+
+    def _request(self, path: str, body: Optional[Dict[str, Any]] = None
+                 ) -> Tuple[int, Dict[str, Any]]:
+        status, payload, _ = self._request_raw(path, body)
+        return status, json.loads(payload)
 
     # -- API --------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
@@ -207,6 +274,21 @@ class Client:
     def post(self, task: str, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         """Raw POST for tests that assert on error statuses."""
         return self._request(API_PREFIX + task, body)
+
+    def post_with_headers(self, task: str, body: Dict[str, Any]
+                          ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """POST returning (status, body, response headers) — for asserting
+        on ``X-Request-Id`` correlation."""
+        status, payload, headers = self._request_raw(API_PREFIX + task, body)
+        return status, json.loads(payload), headers
+
+    def metrics_prometheus(self) -> Tuple[str, str]:
+        """``GET /metrics?format=prometheus``; returns (text, content type)."""
+        status, payload, headers = self._request_raw(
+            "/metrics?format=prometheus")
+        if status != 200:
+            raise RuntimeError(f"metrics?format=prometheus -> {status}")
+        return payload.decode(), headers.get("Content-Type", "")
 
     def close(self) -> None:
         self.server.shutdown()

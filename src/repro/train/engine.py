@@ -38,7 +38,13 @@ from repro.nn import (
     sanitize_ops,
 )
 from repro.nn.tensor import Parameter
-from repro.obs import RunJournal, get_registry, trace
+from repro.obs import (
+    RunJournal,
+    adopt_context,
+    capture_context,
+    get_registry,
+    trace,
+)
 from repro.obs.clock import perf_counter
 from repro.train.task import StepOutput, TrainableTask
 
@@ -192,6 +198,7 @@ class Trainer:
         self._best_epoch_loss = math.inf
         self._epochs_since_improvement = 0
         self._metric_prefix = task.name.replace("/", ".")
+        self._fit_context = None
 
     # -- setup -------------------------------------------------------------
     @property
@@ -308,6 +315,10 @@ class Trainer:
         module = self.task.module
         module.train()
         spec = self.spec
+        # Capture the originating trace context (e.g. a serve request that
+        # triggered this run) so eval hooks attribute to it even if a task's
+        # eval_metric hops threads.
+        self._fit_context = capture_context()
         train_start = perf_counter()
         with trace(f"{self.task.name}/train"):
             while self.epochs_completed < target:
@@ -386,10 +397,13 @@ class Trainer:
         self.journal.step(self.step_index, **fields)
 
     def _run_eval(self, stats: TrainStats) -> None:
-        """One mode-restoring evaluation probe."""
+        """One mode-restoring evaluation probe, attributed to the trace
+        context that was active when :meth:`fit` started."""
         probe_start = perf_counter()
-        with eval_mode(self.task.module):
-            value = self.task.eval_metric()
+        with adopt_context(self._fit_context):
+            with trace(f"{self.task.name}/eval"):
+                with eval_mode(self.task.module):
+                    value = self.task.eval_metric()
         if value is None:
             return
         stats.eval_steps.append(self.step_index)

@@ -1,0 +1,146 @@
+"""The bench regression gate: pairing, tolerances, metric fallback."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    CaseComparison,
+    ComparisonReport,
+    compare_report_files,
+    compare_reports,
+    format_comparison,
+)
+
+
+def _report(name, cases):
+    return {"bench": name, "cases": cases}
+
+
+def _case(name, speedup=None, throughput=None):
+    case = {"name": name}
+    if speedup is not None:
+        case["speedup"] = speedup
+    if throughput is not None:
+        case["throughput"] = throughput
+    return case
+
+
+def test_identical_reports_pass():
+    report = _report("pr6", [_case("visibility", speedup=12.0),
+                             _case("collate", throughput=5000.0)])
+    comparison = compare_reports(report, report)
+    assert comparison.ok
+    assert [c.name for c in comparison.cases] == ["collate", "visibility"]
+    assert all(c.ratio == pytest.approx(1.0) for c in comparison.cases)
+    assert comparison.missing == [] and comparison.added == []
+
+
+def test_regression_beyond_tolerance_fails():
+    baseline = _report("pr5", [_case("visibility", speedup=10.0)])
+    current = _report("pr6", [_case("visibility", speedup=9.0)])
+    comparison = compare_reports(current, baseline)  # 10% drop > 5% tol
+    assert not comparison.ok
+    (case,) = comparison.regressions
+    assert case.name == "visibility"
+    assert case.metric == "speedup"
+    assert case.change == pytest.approx(-0.10)
+
+
+def test_drop_within_tolerance_passes():
+    baseline = _report("pr5", [_case("visibility", speedup=10.0)])
+    current = _report("pr6", [_case("visibility", speedup=9.6)])
+    assert compare_reports(current, baseline).ok  # 4% drop < 5% tol
+
+
+def test_per_case_tolerance_override():
+    baseline = _report("pr5", [_case("pretrain_steps", speedup=10.0),
+                               _case("collate", speedup=10.0)])
+    current = _report("pr6", [_case("pretrain_steps", speedup=9.7),
+                              _case("collate", speedup=9.7)])
+    comparison = compare_reports(current, baseline,
+                                 per_case={"pretrain_steps": 0.02})
+    # 3% drop: fails the 2% per-case override, passes the 5% default
+    assert [c.name for c in comparison.regressions] == ["pretrain_steps"]
+
+
+def test_improvement_never_regresses():
+    baseline = _report("pr5", [_case("mask", speedup=5.0)])
+    current = _report("pr6", [_case("mask", speedup=50.0)])
+    comparison = compare_reports(current, baseline)
+    assert comparison.ok
+    assert comparison.cases[0].change == pytest.approx(9.0)
+
+
+def test_throughput_fallback_when_no_speedup():
+    baseline = _report("pr5", [_case("serve", throughput=100.0)])
+    current = _report("pr6", [_case("serve", throughput=50.0)])
+    comparison = compare_reports(current, baseline)
+    assert comparison.cases[0].metric == "throughput"
+    assert not comparison.ok
+
+
+def test_metric_mismatch_falls_back_to_shared_throughput():
+    baseline = _report("pr5", [_case("x", speedup=10.0, throughput=100.0)])
+    current = _report("pr6", [_case("x", throughput=100.0)])
+    comparison = compare_reports(current, baseline)
+    (case,) = comparison.cases
+    assert case.metric == "throughput"
+    assert case.ratio == pytest.approx(1.0)
+
+
+def test_metric_mismatch_without_shared_throughput_skips():
+    baseline = _report("pr5", [_case("x", speedup=10.0)])
+    current = _report("pr6", [_case("x", throughput=100.0)])
+    assert compare_reports(current, baseline).cases == []
+
+
+def test_missing_and_added_cases_are_reported_not_failed():
+    baseline = _report("pr5", [_case("old", speedup=2.0),
+                               _case("shared", speedup=2.0)])
+    current = _report("pr6", [_case("shared", speedup=2.0),
+                              _case("new", speedup=3.0)])
+    comparison = compare_reports(current, baseline)
+    assert comparison.ok
+    assert comparison.missing == ["old"]
+    assert comparison.added == ["new"]
+
+
+def test_zero_baseline_counts_as_regression():
+    case = CaseComparison("x", "speedup", baseline=0.0, current=1.0,
+                          tolerance=0.05)
+    assert case.ratio == 0.0 and case.regressed
+
+
+def test_report_files_roundtrip(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    current_path = tmp_path / "current.json"
+    baseline_path.write_text(json.dumps(
+        _report("pr5", [_case("visibility", speedup=10.0)])))
+    current_path.write_text(json.dumps(
+        _report("pr6", [_case("visibility", speedup=11.0)])))
+    comparison = compare_report_files(str(current_path), str(baseline_path))
+    assert comparison.ok
+    assert comparison.baseline_name == "pr5"
+    assert comparison.current_name == "pr6"
+
+
+def test_to_dict_and_format():
+    baseline = _report("pr5", [_case("a", speedup=10.0),
+                               _case("gone", speedup=1.0)])
+    current = _report("pr6", [_case("a", speedup=8.0),
+                              _case("fresh", speedup=1.0)])
+    comparison = compare_reports(current, baseline)
+    payload = comparison.to_dict()
+    assert payload["ok"] is False
+    assert payload["cases"][0]["regressed"] is True
+    assert payload["missing"] == ["gone"] and payload["added"] == ["fresh"]
+    text = format_comparison(comparison)
+    assert "REGRESS" in text
+    assert "skip" in text and "new" in text
+    assert text.splitlines()[-1].startswith("FAIL: 1 regression(s)")
+    passing = format_comparison(
+        compare_reports(_report("a", []), _report("b", [])))
+    assert passing.splitlines()[-1].startswith("PASS: 0 regression(s)")
+    empty = ComparisonReport("b", "a")
+    assert empty.ok and empty.regressions == []

@@ -317,3 +317,79 @@ def test_suppression_for_other_rule_does_not_whitelist():
 def test_syntax_error_is_lnt001():
     result = _lint("def broken(:\n    pass\n")
     assert _rule_ids(result) == ["LNT001"]
+
+
+# -- OBS002: span / metric name style ---------------------------------------
+
+def test_obs002_flags_bad_literal_names():
+    result = _lint("""
+        from repro.obs import trace, start_trace, get_registry
+        with trace("Serve/Decode"):
+            pass
+        with start_trace("serve decode"):
+            pass
+        get_registry().counter("serve.Requests").inc()
+        get_registry().histogram("serve..latency").observe(1.0)
+    """)
+    assert _rule_ids(result) == ["OBS002"] * 4
+
+
+def test_obs002_allows_canonical_names():
+    result = _lint("""
+        from repro.obs import trace, start_trace, get_registry
+        with trace("pretrain/step/forward"):
+            pass
+        with start_trace("serve/entity_linking"):
+            pass
+        registry = get_registry()
+        registry.counter("serve.requests").inc()
+        registry.gauge("serve.queue_depth").set(1.0)
+        registry.timer("serve.latency.entity_linking").time()
+        tracer.span("eval/probe_0")
+    """)
+    assert _rule_ids(result) == []
+
+
+def test_obs002_checks_fstring_constant_fragments():
+    result = _lint("""
+        from repro.obs import trace
+        with trace(f"serve/{task}"):
+            pass
+        with trace(f"Serve/{task}"):
+            pass
+        registry.timer(f"serve.latency.{task}").time()
+        registry.timer(f"serve latency {task}").time()
+    """)
+    assert _rule_ids(result) == ["OBS002", "OBS002"]
+
+
+def test_obs002_ignores_dynamic_names_and_other_calls():
+    result = _lint("""
+        from repro.obs import trace
+        name = compute_name()
+        with trace(name):
+            pass
+        print("NOT A METRIC")
+        timer("Some Free Function")
+    """)
+    assert _rule_ids(result) == []
+
+
+def test_obs002_inactive_outside_repro():
+    result = _lint("""
+        from repro.obs import trace
+        with trace("Whatever Style"):
+            pass
+    """, path="tests/obs/test_example.py")
+    assert _rule_ids(result) == []
+
+
+def test_obs002_suppressible_with_reason():
+    result = _lint("""
+        from repro.obs import trace
+        with trace("Legacy/Name"):  # lint: disable=OBS002(historic dashboard key)
+            pass
+    """)
+    assert _rule_ids(result) == []
+    assert [s.violation.rule_id for s in result.suppressed] == ["OBS002"]
+    assert result.suppressed[0].reason == "historic dashboard key"

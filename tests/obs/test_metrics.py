@@ -98,3 +98,38 @@ def test_enable_disable_swaps_global_registry():
     assert registry.counter("x").value == 1.0
     disable_metrics()
     assert isinstance(get_registry(), NullRegistry)
+
+
+def test_p99_in_summary_and_edge_cases():
+    histogram = Histogram("h")
+    assert histogram.summary()["p99"] == 0.0  # no samples
+    histogram.observe(7.0)
+    assert histogram.summary()["p99"] == 7.0  # single sample
+    histogram.reset()
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    summary = histogram.summary()
+    # linear interpolation over 100 samples: rank 98.01 -> 99.01
+    assert summary["p99"] == pytest.approx(99.01)
+    assert summary["p95"] <= summary["p99"] <= summary["max"]
+    histogram.reset()
+    histogram.observe(1.0)
+    histogram.observe(1000.0)
+    # p99 tracks the tail sample far more closely than p50
+    assert histogram.percentile(99) == pytest.approx(990.01)
+    assert histogram.percentile(50) == pytest.approx(500.5)
+
+
+def test_format_metrics_includes_p99_column():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("serve.latency")
+    for value in (1.0, 2.0, 3.0):
+        histogram.observe(value)
+    registry.counter("serve.requests").inc()
+    text = format_metrics(registry)
+    header, latency_row, counter_row = text.splitlines()
+    assert "P99" in header
+    assert header.index("P99") > header.index("P95")
+    p99 = histogram.percentile(99)
+    assert f"{p99:12.4f}" in latency_row
+    assert "serve.requests" in counter_row

@@ -1,0 +1,79 @@
+"""Prometheus text exposition: type lines, summaries, name sanitization."""
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    enable_metrics,
+    format_prometheus,
+    sanitize_name,
+)
+
+
+def test_content_type_pins_format_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4"
+
+
+def test_sanitize_name():
+    assert sanitize_name("serve.latency.entity_linking") == (
+        "serve_latency_entity_linking")
+    assert sanitize_name("pretrain/step") == "pretrain_step"
+    assert sanitize_name("ok_name:sub") == "ok_name:sub"
+    assert sanitize_name("9lives") == "_9lives"
+    assert sanitize_name("") == "_"
+
+
+def test_counter_and_gauge_exposition():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(3)
+    registry.gauge("serve.queue_depth").set(1.5)
+    text = format_prometheus(registry)
+    assert "# HELP serve_requests serve.requests\n" in text
+    assert "# TYPE serve_requests counter\n" in text
+    assert "serve_requests 3\n" in text
+    assert "# TYPE serve_queue_depth gauge\n" in text
+    assert "serve_queue_depth 1.5\n" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_and_timer_expose_as_summaries():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("serve.batch_size")
+    for value in (1, 2, 3, 4):
+        histogram.observe(value)
+    timer = registry.timer("serve.latency")
+    timer.observe(0.25)
+    text = format_prometheus(registry)
+    # Timer subclasses Histogram: both must land in the summary branch
+    assert "# TYPE serve_batch_size summary\n" in text
+    assert "# TYPE serve_latency summary\n" in text
+    assert 'serve_batch_size{quantile="0.5"}' in text
+    assert 'serve_batch_size{quantile="0.95"}' in text
+    assert 'serve_batch_size{quantile="0.99"}' in text
+    assert "serve_batch_size_sum 10\n" in text
+    assert "serve_batch_size_count 4\n" in text
+    assert "serve_latency_sum 0.25\n" in text
+    assert "serve_latency_count 1\n" in text
+
+
+def test_empty_registry_renders_empty_string():
+    assert format_prometheus(MetricsRegistry()) == ""
+
+
+def test_default_registry_is_the_global_one():
+    registry = enable_metrics()
+    registry.counter("lint.files").inc()
+    text = format_prometheus()
+    assert "lint_files 1\n" in text
+
+
+def test_every_line_is_wellformed():
+    registry = MetricsRegistry()
+    registry.counter("a.b").inc()
+    registry.timer("c/d").observe(2.0)
+    for line in format_prometheus(registry).strip().splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+        else:
+            name, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses as a number
+            assert " " not in name.split("{")[0]

@@ -131,6 +131,50 @@ def test_bench_command_rejects_unknown_case(capsys):
     assert "unknown bench case" in capsys.readouterr().out
 
 
+def test_bench_compare_gate(capsys, tmp_path):
+    import json
+
+    out = str(tmp_path / "BENCH_run.json")
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct",
+                 "--name", "run", "--json", out]) == 0
+    capsys.readouterr()
+    # comparing a run against itself passes and writes the verdict JSON
+    verdict = str(tmp_path / "comparison.json")
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct", "--name", "again",
+                 "--compare-to", out, "--compare-json", verdict]) == 0
+    captured = capsys.readouterr().out
+    assert "bench compare: again vs baseline run" in captured
+    with open(verdict) as handle:
+        assert json.load(handle)["cases"][0]["name"] == "visibility_construct"
+    # an impossible baseline regresses -> exit 1 (the CI gate contract)
+    doctored = json.load(open(out))
+    doctored["cases"][0]["speedup"] *= 100.0
+    rigged = str(tmp_path / "BENCH_rigged.json")
+    json.dump(doctored, open(rigged, "w"))
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct",
+                 "--compare-to", rigged]) == 1
+    assert "REGRESS" in capsys.readouterr().out
+    # ... unless a per-case tolerance grants the headroom
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct", "--compare-to", rigged,
+                 "--case-tolerance", "visibility_construct=0.999"]) == 0
+    # malformed NAME=FRACTION entries fail fast
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct", "--compare-to", out,
+                 "--case-tolerance", "visibility_construct=lots"]) == 1
+    assert "bad --case-tolerance" in capsys.readouterr().out
+
+
+def test_bench_compare_unreadable_baseline(capsys, tmp_path):
+    assert main(["bench", "--warmup", "0", "--repeat", "1",
+                 "--only", "visibility_construct",
+                 "--compare-to", str(tmp_path / "missing.json")]) == 1
+    assert "cannot read baseline" in capsys.readouterr().out
+
+
 def test_serve_parser_defaults():
     args = build_parser().parse_args(["serve", "--checkpoint", "ckpt"])
     assert args.handler is not None

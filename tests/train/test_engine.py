@@ -234,3 +234,43 @@ def test_subsample_items_no_cap_returns_everything():
     assert subsample_items(items, None, seed=0) == items
     assert subsample_items(items, 10, seed=0) == items
     assert len(subsample_items(items, 0, seed=0)) == 1  # at least one item
+
+
+def test_fit_attributes_spans_to_active_trace():
+    """A fit() triggered inside a request trace records its train and eval
+    spans into that trace — including eval probes that hop threads."""
+    import threading
+
+    from repro.obs import adopt_context, capture_context, start_trace
+
+    class ThreadedEvalTask(ToyTask):
+        """eval_metric runs on a worker thread, as a serving-triggered
+        evaluation would; the handoff uses capture/adopt."""
+
+        def eval_metric(self):
+            snapshot = capture_context()
+            result = {}
+
+            def probe():
+                with adopt_context(snapshot):
+                    result["value"] = super(ThreadedEvalTask,
+                                            self).eval_metric()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            return result["value"]
+
+    task = ThreadedEvalTask()
+    with start_trace("serve/finetune_demo") as context:
+        Trainer(task, TrainSpec(epochs=1, eval_at_end=True)).fit()
+    names = [span.name for span in context.spans]
+    assert "toy/train" in names
+    assert "toy/eval" in names
+    train_index = names.index("toy/train")
+    assert context.spans[train_index].parent == -1
+    assert context.spans[names.index("toy/eval")].parent >= -1
+    # outside a trace the same run records nothing (no lingering context)
+    task2 = ToyTask()
+    Trainer(task2, TrainSpec(epochs=1, eval_at_end=True)).fit()
+    assert [span.name for span in context.spans] == names
