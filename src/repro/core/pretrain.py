@@ -27,7 +27,7 @@ from repro.core.linearize import ETYPE_OBJECT, TableInstance
 from repro.core.masking import IGNORE, MaskingPolicy
 from repro.core.model import TURLModel
 from repro.nn import eval_mode, masked_cross_entropy
-from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.serialization import load_state, save_state_dict
 from repro.obs import RunJournal, trace
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import MASK_ID, SPECIAL_TOKENS, Vocabulary
@@ -295,10 +295,17 @@ class Pretrainer:
 
 def save_checkpoint(directory: str, model: TURLModel,
                     tokenizer: WordPieceTokenizer,
-                    entity_vocab: Vocabulary) -> None:
-    """Persist model weights, config, tokenizer and entity vocabulary."""
+                    entity_vocab: Vocabulary,
+                    compress: bool = False) -> None:
+    """Persist model weights, config, tokenizer and entity vocabulary.
+
+    ``model.npz`` is stored uncompressed by default so serving workers can
+    memory-map it zero-copy (``load_checkpoint(..., mmap=True)``); pass
+    ``compress=True`` to trade that for a smaller archive.
+    """
     os.makedirs(directory, exist_ok=True)
-    save_state_dict(model.state_dict(), os.path.join(directory, "model.npz"))
+    save_state_dict(model.state_dict(), os.path.join(directory, "model.npz"),
+                    compress=compress)
     with open(os.path.join(directory, "tokenizer.json"), "w") as handle:
         handle.write(tokenizer.to_json())
     with open(os.path.join(directory, "entity_vocab.json"), "w") as handle:
@@ -309,10 +316,16 @@ def save_checkpoint(directory: str, model: TURLModel,
         json.dump(model.config.to_dict(), handle)
 
 
-def load_checkpoint(directory: str):
+def load_checkpoint(directory: str, mmap: Union[bool, str] = False):
     """Inverse of :func:`save_checkpoint`.
 
     Returns ``(model, tokenizer, entity_vocab)``.
+
+    ``mmap=True`` binds the model's weights as read-only zero-copy views
+    into ``model.npz`` (requires an uncompressed archive — the
+    :func:`save_checkpoint` default); ``mmap="auto"`` tries the zero-copy
+    path and silently falls back to the eager heap load for legacy
+    compressed archives.
     """
     import json
 
@@ -323,5 +336,14 @@ def load_checkpoint(directory: str):
     with open(os.path.join(directory, "entity_vocab.json")) as handle:
         entity_vocab = Vocabulary.from_json(handle.read())
     model = TURLModel(len(tokenizer.vocab), len(entity_vocab), config)
-    model.load_state_dict(load_state_dict(os.path.join(directory, "model.npz")))
+    weights_path = os.path.join(directory, "model.npz")
+    use_mmap = bool(mmap)
+    if mmap == "auto":
+        try:
+            state = load_state(weights_path, mmap=True)
+        except ValueError:
+            state, use_mmap = load_state(weights_path), False
+    else:
+        state = load_state(weights_path, mmap=use_mmap)
+    model.load_state_dict(state, copy=not use_mmap)
     return model, tokenizer, entity_vocab

@@ -14,6 +14,7 @@ aggregate information only from structurally related elements.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, Tuple
 
@@ -32,6 +33,9 @@ VISIBILITY_CACHE_SIZE = 512
 
 _cache: "OrderedDict[Tuple[bytes, bytes, bytes, int], np.ndarray]" = OrderedDict()
 _cache_stats = {"hits": 0, "misses": 0}
+# Serving fleets share this module-global cache across worker threads;
+# OrderedDict reordering is not atomic, so every access takes the lock.
+_cache_lock = threading.Lock()
 
 
 def cached_visibility(kinds: np.ndarray, rows: np.ndarray,
@@ -47,30 +51,34 @@ def cached_visibility(kinds: np.ndarray, rows: np.ndarray,
     rows = np.ascontiguousarray(rows)
     cols = np.ascontiguousarray(cols)
     key = (kinds.tobytes(), rows.tobytes(), cols.tobytes(), len(kinds))
-    cached = _cache.get(key)
-    if cached is not None:
-        _cache.move_to_end(key)
-        _cache_stats["hits"] += 1
-        return cached
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _cache_stats["hits"] += 1
+            return cached
     visible = visibility_from_structure(kinds, rows, cols)
     visible.setflags(write=False)
-    _cache[key] = visible
-    _cache_stats["misses"] += 1
-    if len(_cache) > VISIBILITY_CACHE_SIZE:
-        _cache.popitem(last=False)
+    with _cache_lock:
+        _cache[key] = visible
+        _cache_stats["misses"] += 1
+        if len(_cache) > VISIBILITY_CACHE_SIZE:
+            _cache.popitem(last=False)
     return visible
 
 
 def visibility_cache_stats() -> dict:
     """Current hit/miss counts and entry count of the visibility cache."""
-    return {**_cache_stats, "entries": len(_cache)}
+    with _cache_lock:
+        return {**_cache_stats, "entries": len(_cache)}
 
 
 def clear_visibility_cache() -> None:
     """Drop every cached matrix and reset the hit/miss counters."""
-    _cache.clear()
-    _cache_stats["hits"] = 0
-    _cache_stats["misses"] = 0
+    with _cache_lock:
+        _cache.clear()
+        _cache_stats["hits"] = 0
+        _cache_stats["misses"] = 0
 
 
 def build_visibility(instance: TableInstance) -> np.ndarray:

@@ -92,7 +92,18 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True,
+                        copy: bool = True) -> None:
+        """Load ``state`` into this module's parameters.
+
+        ``copy=False`` binds the checkpoint arrays directly instead of
+        heap-copying them — the zero-copy path for serving workers reading a
+        memory-mapped state dict (:func:`repro.nn.serialization.load_state`
+        with ``mmap=True``): every worker then shares the file-backed pages.
+        Such parameters are read-only; training rebinds them to fresh heap
+        arrays on the first optimizer step, so inference-only use is the
+        intended regime.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -108,7 +119,7 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: checkpoint {value.shape} vs model {parameter.data.shape}"
                 )
-            parameter.data = value.copy()
+            parameter.data = value.copy() if copy else value
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())

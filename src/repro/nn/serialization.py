@@ -1,27 +1,143 @@
 """Checkpoint (de)serialization for module state dicts.
 
 State dicts are flat ``name -> ndarray`` mappings; we persist them as
-compressed ``.npz`` archives, with ``/`` substituted for ``.`` in keys since
-NumPy forbids dots in archive member names on some versions.
+``.npz`` archives, with ``/`` substituted for ``.`` in keys since NumPy
+forbids dots in archive member names on some versions.
+
+Two load paths share the same archive format:
+
+- :func:`load_state` / :func:`load_state_dict` — the eager path: every
+  array is materialized on the heap (writable, private copies).
+- :func:`load_state(mmap=True) <load_state>` — the zero-copy path for
+  serving fleets: each array is an ``np.memmap`` view straight into the
+  archive file, opened read-only.  N workers loading the same checkpoint
+  share one set of physical pages through the OS page cache instead of N
+  heap copies, and any attempted write raises.  Memory-mapping requires
+  the archive members to be stored uncompressed — write them with
+  ``save_state_dict(..., compress=False)``.
 """
 
 from __future__ import annotations
 
+import ast
 import os
-from typing import Dict
+import struct
+import zipfile
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+#: Size of the fixed portion of a zip local file header (before the
+#: variable-length name and extra fields).
+_LOCAL_HEADER_SIZE = 30
 
-def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
-    """Write a state dict to ``path`` (``.npz`` format)."""
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str,
+                    compress: bool = True) -> None:
+    """Write a state dict to ``path`` (``.npz`` format).
+
+    ``compress=False`` stores members uncompressed, which makes the archive
+    memory-mappable via ``load_state(path, mmap=True)``.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     encoded = {name.replace(".", "/"): array for name, array in state.items()}
-    np.savez_compressed(path, **encoded)
+    if compress:
+        np.savez_compressed(path, **encoded)
+    else:
+        np.savez(path, **encoded)
 
 
 def load_state_dict(path: str) -> Dict[str, np.ndarray]:
     """Read a state dict previously written by :func:`save_state_dict`."""
-    with np.load(path) as archive:
-        return {name.replace("/", "."): archive[name] for name in archive.files}
+    return load_state(path)
+
+
+def _npy_array_spec(header: bytes) -> Tuple[np.dtype, bool, Tuple[int, ...], int]:
+    """Parse a raw ``.npy`` byte stream's header.
+
+    Returns ``(dtype, fortran_order, shape, data_offset)`` where
+    ``data_offset`` is the offset of the first array byte from the start of
+    the ``.npy`` stream.  Only needs the first kilobyte or so of the member.
+    """
+    if header[:6] != b"\x93NUMPY":
+        raise ValueError("archive member is not a .npy array")
+    major = header[6]
+    if major == 1:
+        (header_len,) = struct.unpack("<H", header[8:10])
+        preamble = 10
+    else:  # format 2.0/3.0: 4-byte little-endian header length
+        (header_len,) = struct.unpack("<I", header[8:12])
+        preamble = 12
+    header_text = header[preamble:preamble + header_len].decode("latin1")
+    fields = ast.literal_eval(header_text)
+    dtype = np.dtype(fields["descr"])
+    return (dtype, bool(fields["fortran_order"]), tuple(fields["shape"]),
+            preamble + header_len)
+
+
+def _member_offsets(path: str) -> List[Tuple[str, int, int]]:
+    """``(member_name, payload_offset, payload_size)`` for every stored
+    member of an uncompressed zip archive.
+
+    The payload offset is computed from each member's *local* file header
+    (the central directory's name/extra lengths can legally differ), so the
+    returned offsets address the raw ``.npy`` bytes inside the file.
+    """
+    members: List[Tuple[str, int, int]] = []
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"cannot memory-map {path!r}: member {info.filename!r} is "
+                    "compressed; re-save the checkpoint with "
+                    "save_state_dict(..., compress=False)")
+            raw.seek(info.header_offset)
+            local = raw.read(_LOCAL_HEADER_SIZE)
+            if local[:4] != b"PK\x03\x04":
+                raise ValueError(f"corrupt local header for {info.filename!r}")
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            payload = info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+            members.append((info.filename, payload, info.file_size))
+    return members
+
+
+def _memmap_member(path: str, name: str, offset: int,
+                   size: int) -> np.ndarray:
+    """Memory-map one stored ``.npy`` member as a read-only array."""
+    with open(path, "rb") as raw:
+        raw.seek(offset)
+        head = raw.read(min(size, 4096))
+    dtype, fortran, shape, data_offset = _npy_array_spec(head)
+    if dtype.hasobject:
+        raise ValueError(f"cannot memory-map object array {name!r}")
+    order = "F" if fortran else "C"
+    if shape == ():
+        # np.memmap cannot express 0-d arrays; fall back to an eager read
+        # (a scalar costs nothing to copy) but keep it read-only.
+        scalar = np.frombuffer(head[data_offset:data_offset + dtype.itemsize],
+                               dtype=dtype).reshape(())
+        scalar.setflags(write=False)
+        return scalar
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset + data_offset,
+                     shape=shape, order=order)
+
+
+def load_state(path: str, mmap: bool = False) -> Dict[str, np.ndarray]:
+    """Read a state dict; ``mmap=True`` returns zero-copy read-only views.
+
+    The eager path (``mmap=False``) is byte-identical to the historical
+    :func:`load_state_dict`.  The memmap path requires an archive written
+    with ``compress=False`` and yields ``np.memmap`` arrays backed by the
+    file — writes raise, and concurrent loaders share physical pages.
+    """
+    if not mmap:
+        with np.load(path) as archive:
+            return {name.replace("/", "."): archive[name]
+                    for name in archive.files}
+    state: Dict[str, np.ndarray] = {}
+    for member, offset, size in _member_offsets(path):
+        name = member[:-4] if member.endswith(".npy") else member
+        state[name.replace("/", ".")] = _memmap_member(path, member, offset,
+                                                       size)
+    return state

@@ -14,6 +14,7 @@ written naturally.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,26 +31,29 @@ from repro.nn.sanitize import (
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
-# Global switch used by ``no_grad`` to disable graph construction during
-# evaluation, which keeps inference memory flat.
-_GRAD_ENABLED = True
+# Per-thread switch used by ``no_grad`` to disable graph construction during
+# evaluation, which keeps inference memory flat.  Thread-local (rather than
+# process-global) so concurrent serving workers can each run their own
+# inference block without one worker's ``no_grad`` exit re-enabling gradient
+# recording mid-predict on another; single-threaded behavior is unchanged.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables gradient tracking inside its block."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = getattr(_GRAD_STATE, "enabled", True)
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Whether new operations currently record into the autograd tape."""
-    return _GRAD_ENABLED
+    """Whether new operations currently record into the autograd tape
+    (on the calling thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -98,7 +102,7 @@ class Tensor:
             data = data.data
         self._version = 0
         self._data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
@@ -169,7 +173,7 @@ class Tensor:
     ) -> "Tensor":
         if SANITIZER.enabled:
             assert_finite_array(data, f"output of op '{op_name(backward)}'")
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         out = Tensor(data, requires_grad=True)

@@ -16,8 +16,14 @@ into one uniform, instrumented surface:
 - :mod:`repro.serve.http` — a stdlib ``http.server`` JSON endpoint
   (``POST /v1/<task>``, ``GET /healthz``, ``GET /metrics``) plus the
   in-process :class:`Client`;
+- :mod:`repro.serve.ring` — :class:`HashRing`: consistent hashing with
+  virtual nodes, routing table-content digests to workers;
+- :mod:`repro.serve.fleet` — :class:`PredictorFleet`: N worker lanes with
+  private encode caches behind content-keyed routing, bounded queues with
+  typed 429/503 backpressure, and drain/reload for weight swaps;
 - :mod:`repro.serve.bootstrap` — build all six heads + resources from
-  pipeline artifacts (the ``repro.cli serve`` / smoke-test recipe).
+  pipeline artifacts (the ``repro.cli serve`` / smoke-test recipe), for a
+  single predictor or a fleet.
 
 Usage::
 
@@ -41,10 +47,21 @@ from repro.serve.adapters import (
     adapters_by_task,
 )
 from repro.serve.batcher import MicroBatcher
-from repro.serve.bootstrap import ServingBundle, build_serving_bundle
+from repro.serve.bootstrap import ServingBundle, build_serving_bundle, build_serving_fleet
 from repro.serve.cache import ENCODE_CACHE_SIZE, EncodeCache
+from repro.serve.fleet import (
+    DEFAULT_MAX_QUEUE,
+    FleetError,
+    FleetSaturated,
+    FleetUnavailable,
+    FleetWorker,
+    PredictorFleet,
+    clone_predictor,
+    pin_eval,
+)
 from repro.serve.http import Client, PredictionServer
 from repro.serve.predictor import Predictor
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, route_key_for
 
 __all__ = [
     "TaskAdapter",
@@ -64,4 +81,16 @@ __all__ = [
     "Client",
     "ServingBundle",
     "build_serving_bundle",
+    "build_serving_fleet",
+    "HashRing",
+    "route_key_for",
+    "DEFAULT_REPLICAS",
+    "PredictorFleet",
+    "FleetWorker",
+    "FleetError",
+    "FleetSaturated",
+    "FleetUnavailable",
+    "DEFAULT_MAX_QUEUE",
+    "clone_predictor",
+    "pin_eval",
 ]

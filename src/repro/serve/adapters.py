@@ -88,6 +88,27 @@ class TaskAdapter:
     def encode_prediction(self, prediction: Prediction) -> Dict[str, Any]:
         return prediction.to_dict()
 
+    def clone_with_models(self, model_map: Dict[int, Any]) -> "TaskAdapter":
+        """Shallow-clone this adapter, rebinding its head's model.
+
+        ``model_map`` maps ``id(original_model) -> replacement_model``.  The
+        clone shares every task resource (datasets, candidate generators —
+        all read-only at serving time) but gets its own head object bound to
+        the replacement model, so fleet workers can install per-worker
+        encode caches without fighting over one model's ``encode_cache``
+        attribute.  Weights are untouched: the replacement is itself a
+        shallow copy sharing the original's parameters.
+        """
+        import copy
+
+        clone = copy.copy(self)
+        head = copy.copy(self.head)
+        replacement = model_map.get(id(self.head.model))
+        if replacement is not None:
+            head.model = replacement
+        clone.head = head
+        return clone
+
 
 class EntityLinkingAdapter(TaskAdapter):
     """Disambiguate one mention against its candidate entity set."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,3 +118,21 @@ class EncodeCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+
+    @staticmethod
+    def aggregate(stats: Sequence[Dict[str, float]]) -> Dict[str, float]:
+        """Roll per-cache :meth:`stats` dicts up into fleet totals.
+
+        Counters (hits, misses, entries, capacity) sum; ``hit_rate`` is
+        recomputed from the summed counters.  Averaging the per-worker
+        rates would be wrong — a worker answering 10x the traffic must
+        weigh 10x in the fleet rate — which is exactly the aggregation bug
+        this helper exists to prevent.
+        """
+        totals = {"hits": 0.0, "misses": 0.0, "entries": 0.0, "capacity": 0.0}
+        for entry in stats:
+            for field in totals:
+                totals[field] += entry.get(field, 0.0)
+        total = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / total if total else 0.0
+        return totals

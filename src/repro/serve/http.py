@@ -19,10 +19,14 @@ streams to the predictor's journal as an ``EVENT_TRACE`` record (spans:
 trace id), and 500 bodies echo the trace id for correlation.
 
 Requests are handled on :class:`ThreadingHTTPServer` threads but every
-prediction funnels through the single
-:class:`~repro.serve.batcher.MicroBatcher` worker, so concurrent clients
-get deterministic, data-race-free answers.  :class:`Client` boots a server
-on an ephemeral port inside the process — the test and smoke harness.
+prediction funnels through a serializing tier: the single
+:class:`~repro.serve.batcher.MicroBatcher` worker (``predictor=``), or the
+content-routed lanes of a :class:`~repro.serve.fleet.PredictorFleet`
+(``fleet=``, which adds typed 429/503 backpressure, per-worker cache
+metrics in ``/metrics``, and a ``workers`` list in ``/healthz``).  Either
+way concurrent clients get deterministic, data-race-free answers.
+:class:`Client` boots a server on an ephemeral port inside the process —
+the test and smoke harness.
 """
 
 from __future__ import annotations
@@ -46,24 +50,44 @@ from repro.obs import (
 )
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.serve.batcher import MicroBatcher
+from repro.serve.fleet import FleetError, PredictorFleet
 from repro.serve.predictor import Predictor
 
 API_PREFIX = "/v1/"
 
 
 class PredictionServer:
-    """Own the HTTP server plus the micro-batcher feeding the predictor."""
+    """Own the HTTP server plus the tier feeding it predictions.
 
-    def __init__(self, predictor: Predictor, host: str = "127.0.0.1",
+    Two backends share one HTTP surface:
+
+    - ``predictor=`` — the single-worker tier: requests funnel through the
+      :class:`MicroBatcher` into one :class:`Predictor`;
+    - ``fleet=`` — the multi-worker tier: requests route by table-content
+      key straight onto :class:`PredictorFleet` lanes (no micro-batcher —
+      the fleet's bounded per-worker queues take its place), and typed
+      backpressure surfaces as 429 (lane saturated, with ``Retry-After``)
+      or 503 (fleet draining/stopped).
+    """
+
+    def __init__(self, predictor: Optional[Predictor] = None,
+                 host: str = "127.0.0.1",
                  port: int = 0, max_batch_size: int = 8,
-                 max_wait_ms: float = 5.0):
-        self.predictor = predictor
+                 max_wait_ms: float = 5.0,
+                 fleet: Optional[PredictorFleet] = None):
+        if (predictor is None) == (fleet is None):
+            raise ValueError("pass exactly one of predictor= or fleet=")
+        self.fleet = fleet
+        self.predictor = predictor if predictor is not None else fleet.template
         if isinstance(get_registry(), NullRegistry):
             # /metrics is part of the contract; make sure it records.
             enable_metrics()
-        self.batcher = MicroBatcher(predictor, max_batch_size=max_batch_size,
-                                    max_wait_ms=max_wait_ms)
-        handler = _build_handler(predictor, self.batcher)
+        self.batcher = None
+        if fleet is None:
+            self.batcher = MicroBatcher(predictor,
+                                        max_batch_size=max_batch_size,
+                                        max_wait_ms=max_wait_ms)
+        handler = _build_handler(self.predictor, self.batcher, fleet)
         self._http = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 
@@ -96,14 +120,19 @@ class PredictionServer:
             self._thread = None
 
     def close(self) -> None:
-        """Release the socket and drain the batcher.  For the foreground
-        :meth:`serve_forever` path, call this after the loop exits (e.g.
-        on ``KeyboardInterrupt``) — ``shutdown()`` would deadlock there."""
+        """Release the socket and drain the serving tier.  For the
+        foreground :meth:`serve_forever` path, call this after the loop
+        exits (e.g. on ``KeyboardInterrupt``) — ``shutdown()`` would
+        deadlock there."""
         self._http.server_close()
-        self.batcher.close()
+        if self.batcher is not None:
+            self.batcher.close()
+        if self.fleet is not None:
+            self.fleet.close()
 
 
-def _build_handler(predictor: Predictor, batcher: MicroBatcher):
+def _build_handler(predictor: Predictor, batcher: Optional[MicroBatcher],
+                   fleet: Optional[PredictorFleet] = None):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
@@ -112,13 +141,16 @@ def _build_handler(predictor: Predictor, batcher: MicroBatcher):
             pass  # metrics + journal carry the signal; stderr stays quiet
 
         def _respond(self, status: int, payload: Dict[str, Any],
-                     trace_id: Optional[str] = None) -> None:
+                     trace_id: Optional[str] = None,
+                     extra_headers: Optional[Dict[str, str]] = None) -> None:
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
             if trace_id is not None:
                 self.send_header("X-Request-Id", trace_id)
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -132,23 +164,40 @@ def _build_handler(predictor: Predictor, batcher: MicroBatcher):
             self.wfile.write(body)
 
         # -- routes -------------------------------------------------------
+        def _cache_stats(self) -> Dict[str, Any]:
+            """Fleet rollup when serving a fleet, else the single cache."""
+            if fleet is not None:
+                return fleet.cache_stats()
+            return predictor.cache_stats()
+
         def do_GET(self) -> None:
             parsed = urllib.parse.urlsplit(self.path)
             if parsed.path == "/healthz":
-                self._respond(200, {"status": "ok",
-                                    "tasks": predictor.tasks})
+                health: Dict[str, Any] = {"status": "ok",
+                                          "tasks": predictor.tasks}
+                if fleet is not None:
+                    health["workers"] = fleet.worker_names
+                self._respond(200, health)
             elif parsed.path == "/metrics":
+                stats = self._cache_stats()
                 query = urllib.parse.parse_qs(parsed.query)
                 if query.get("format", [""])[0] == "prometheus":
                     registry = get_registry()
-                    for key, value in predictor.cache_stats().items():
+                    for key, value in stats.items():
+                        if key == "per_worker":
+                            for worker, worker_stats in value.items():
+                                for wkey, wvalue in worker_stats.items():
+                                    registry.gauge(
+                                        f"serve.{worker}.cache.{wkey}"
+                                    ).set(wvalue)
+                            continue
                         registry.gauge(f"serve.encode_cache.{key}").set(value)
                     self._respond_text(200, format_prometheus(registry),
                                        PROMETHEUS_CONTENT_TYPE)
                     return
                 self._respond(200, {
                     "metrics": get_registry().as_dict(),
-                    "encode_cache": predictor.cache_stats(),
+                    "encode_cache": stats,
                 })
             else:
                 self._respond(404, {"error": f"unknown path {self.path}"})
@@ -179,6 +228,8 @@ def _build_handler(predictor: Predictor, batcher: MicroBatcher):
                                     "tasks": predictor.tasks}, trace_id)
                 return 404, 0
             length = int(self.headers.get("Content-Length", 0))
+            if fleet is not None:
+                return self._predict_via_fleet(task, trace_id, length)
             try:
                 with trace("serve/decode"):
                     request = json.loads(self.rfile.read(length) or b"{}")
@@ -206,6 +257,46 @@ def _build_handler(predictor: Predictor, batcher: MicroBatcher):
                 }, trace_id)
             return 200, len(instances)
 
+        def _predict_via_fleet(self, task: str, trace_id: str,
+                               length: int) -> Tuple[int, int]:
+            """Content-routed prediction with typed 429/503 backpressure.
+
+            Decoding happens on the routed worker's lane, so malformed
+            payloads surface through the future — decode-class exceptions
+            (ValueError/KeyError/TypeError) still map to 400.
+            """
+            try:
+                with trace("serve/decode"):
+                    request = json.loads(self.rfile.read(length) or b"{}")
+                    payloads = self._payloads_of(request)
+            except (ValueError, KeyError, TypeError) as error:
+                self._respond(400, {"error": f"bad request: {error}"},
+                              trace_id)
+                return 400, 0
+            try:
+                with trace("serve/wait"):
+                    predictions = fleet.predict_payloads(task, payloads)
+            except FleetError as error:
+                headers = ({"Retry-After": "1"}
+                           if error.status == 429 else None)
+                self._respond(error.status,
+                              {"error": str(error),
+                               "error_class": type(error).__name__},
+                              trace_id, extra_headers=headers)
+                return error.status, len(payloads)
+            except (ValueError, KeyError, TypeError) as error:
+                self._respond(400, {"error": f"bad request: {error}"},
+                              trace_id)
+                return 400, len(payloads)
+            except Exception as error:  # any failure -> 500, keep serving
+                self._respond(500, {"error": f"prediction failed: {error}",
+                                    "trace_id": trace_id}, trace_id)
+                return 500, len(payloads)
+            with trace("serve/respond"):
+                self._respond(200, {"task": task,
+                                    "predictions": predictions}, trace_id)
+            return 200, len(payloads)
+
         @staticmethod
         def _payloads_of(request: Dict[str, Any]) -> List[Dict[str, Any]]:
             if "instances" in request:
@@ -224,11 +315,14 @@ class Client:
     """In-process client: boots a :class:`PredictionServer` and speaks its
     JSON protocol over a real socket (loopback, ephemeral port)."""
 
-    def __init__(self, predictor: Predictor, max_batch_size: int = 8,
-                 max_wait_ms: float = 5.0):
+    def __init__(self, predictor: Optional[Predictor] = None,
+                 max_batch_size: int = 8,
+                 max_wait_ms: float = 5.0,
+                 fleet: Optional[PredictorFleet] = None):
         self.server = PredictionServer(predictor,
                                        max_batch_size=max_batch_size,
-                                       max_wait_ms=max_wait_ms).start()
+                                       max_wait_ms=max_wait_ms,
+                                       fleet=fleet).start()
 
     # -- HTTP plumbing ----------------------------------------------------
     def _request_raw(self, path: str, body: Optional[Dict[str, Any]] = None

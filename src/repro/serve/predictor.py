@@ -8,7 +8,8 @@ no matter which task asks), and instruments every call through
 
 - ``serve.requests.<task>`` counter — instances answered per task;
 - ``serve.latency.<task>`` timer — wall seconds per predict call;
-- ``serve.encode_cache.hit_rate`` gauge — rolling cache effectiveness;
+- ``serve.encode_cache.hit_rate`` gauge — rolling cache effectiveness
+  (named fleet workers report ``serve.worker<i>.cache.hit_rate`` instead);
 - optional :class:`repro.obs.RunJournal` events (``serve_request``).
 
 Instrumentation reads only the monotonic clock; predictions are a pure
@@ -37,12 +38,19 @@ class Predictor:
                  cache: Optional[EncodeCache] = None,
                  cache_size: int = ENCODE_CACHE_SIZE,
                  enable_cache: bool = True,
-                 journal: Optional[RunJournal] = None):
+                 journal: Optional[RunJournal] = None,
+                 name: Optional[str] = None):
         self.adapters = adapters_by_task(adapters)
         self.cache = None
         if enable_cache:
             self.cache = cache if cache is not None else EncodeCache(cache_size)
         self.journal = journal
+        # Fleet workers pass a name (e.g. "worker0") so each predictor's
+        # cache gauge gets its own namespace; the anonymous single-predictor
+        # deployment keeps the historical metric name.
+        self.name = name
+        self._cache_gauge = ("serve.encode_cache.hit_rate" if name is None
+                             else f"serve.{name}.cache.hit_rate")
         for model in self._distinct_models():
             model.encode_cache = self.cache
 
@@ -77,7 +85,7 @@ class Predictor:
             predictions = adapter.predict_batch(instances)
         registry.counter(f"serve.requests.{task}").inc(len(instances))
         if self.cache is not None:
-            registry.gauge("serve.encode_cache.hit_rate").set(self.cache.hit_rate)
+            registry.gauge(self._cache_gauge).set(self.cache.hit_rate)
         if self.journal is not None:
             self.journal.event("serve_request", task=task,
                                instances=len(instances),

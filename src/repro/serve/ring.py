@@ -1,0 +1,132 @@
+"""Consistent-hash ring for cache-aware request routing.
+
+The fleet dispatcher routes every request by the blake2b content key of its
+table payload (the same digest family :meth:`EncodeCache.key_for` uses), so
+repeats of a table always land on the same worker and that worker's encode
+cache stays hot.  A plain ``hash(key) % n`` mapping would reshuffle almost
+every key when a worker joins or leaves; consistent hashing over a ring of
+virtual nodes instead remaps only the keys that fall into the arcs owned by
+the changed worker — on average ``1/n`` of the keyspace.
+
+Each worker owns ``replicas`` points on the ring (virtual nodes), which
+smooths the arc-length distribution so per-worker load stays close to the
+mean even for small fleets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Virtual nodes per worker.  128 keeps the max/mean load ratio comfortably
+#: under 1.35 for fleets of 2-16 workers (see tests/serve/test_ring.py).
+DEFAULT_REPLICAS = 128
+
+
+def _point(data: bytes) -> int:
+    """Map bytes to a position on the ring (64-bit blake2b)."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing over named workers with virtual nodes.
+
+    >>> ring = HashRing(["worker0", "worker1"])
+    >>> ring.route(b"table-digest")  # doctest: +SKIP
+    'worker1'
+    """
+
+    def __init__(self, workers: Sequence[str] = (),
+                 replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._workers: List[str] = []
+        for worker in workers:
+            self.add_worker(worker)
+
+    # -- membership ----------------------------------------------------
+    @property
+    def workers(self) -> List[str]:
+        """Worker names in insertion order."""
+        return list(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    def add_worker(self, worker: str) -> None:
+        """Insert ``worker``'s virtual nodes into the ring."""
+        if worker in self._workers:
+            raise ValueError(f"worker {worker!r} already on the ring")
+        self._workers.append(worker)
+        for replica in range(self.replicas):
+            point = _point(f"{worker}#{replica}".encode())
+            index = bisect.bisect_left(self._points, point)
+            # Ties are astronomically unlikely with 64-bit points but must
+            # still be deterministic: break them by worker name.
+            while (index < len(self._points)
+                   and self._points[index] == point
+                   and self._owners[index] < worker):
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, worker)
+
+    def remove_worker(self, worker: str) -> None:
+        """Remove ``worker``'s virtual nodes; its arcs fall to successors."""
+        if worker not in self._workers:
+            raise KeyError(f"worker {worker!r} not on the ring")
+        self._workers.remove(worker)
+        keep = [i for i, owner in enumerate(self._owners) if owner != worker]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -- routing -------------------------------------------------------
+    def route(self, key: Union[bytes, str]) -> str:
+        """Return the worker owning ``key`` (first point clockwise)."""
+        if not self._workers:
+            raise LookupError("hash ring has no workers")
+        if isinstance(key, str):
+            key = key.encode()
+        point = _point(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._owners[index]
+
+    def distribution(self, keys: Sequence[Union[bytes, str]]) -> Dict[str, int]:
+        """Count how many of ``keys`` each worker owns (all workers listed)."""
+        counts = {worker: 0 for worker in self._workers}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+
+def route_key_for(payload: object, task: Optional[str] = None) -> bytes:
+    """Content digest of a request payload for ring routing.
+
+    Uses the table sub-object when present so the *same table* queried under
+    different tasks (or with different task-specific fields) still routes to
+    the same worker — cross-task encode-cache reuse is the whole point of
+    content routing.  Falls back to the full payload for table-less requests.
+    Canonical JSON (sorted keys) keeps the digest independent of dict
+    ordering; non-JSON-serializable payloads fall back to ``repr``.
+    """
+    import json
+
+    if isinstance(payload, dict) and "table" in payload:
+        payload = payload["table"]
+    try:
+        blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    except (TypeError, ValueError):
+        blob = repr(payload).encode()
+    if task is not None and not isinstance(payload, (dict, list)):
+        # Scalar payloads (e.g. bare ids) carry no table identity; salt with
+        # the task so distinct tasks don't collide onto one digest.
+        blob = task.encode() + b"\x00" + blob
+    return hashlib.blake2b(blob, digest_size=16).digest()

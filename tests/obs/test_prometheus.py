@@ -55,6 +55,39 @@ def test_histogram_and_timer_expose_as_summaries():
     assert "serve_latency_count 1\n" in text
 
 
+def test_fleet_cache_metric_namespacing_and_rollup():
+    """Pin the serving-fleet metric name scheme end to end.
+
+    Per-worker caches publish ``serve.worker<i>.cache.*`` gauges; the
+    fleet rollup keeps the historical ``serve.encode_cache.hit_rate``
+    name.  The rollup must be traffic-weighted: summed hits over summed
+    lookups, never a mean of per-worker rates.
+    """
+    from repro.serve import EncodeCache
+
+    registry = MetricsRegistry()
+    per_worker = {
+        "worker0": {"hits": 90.0, "misses": 10.0, "entries": 5.0,
+                    "capacity": 8.0, "hit_rate": 0.9},
+        "worker1": {"hits": 0.0, "misses": 900.0, "entries": 8.0,
+                    "capacity": 8.0, "hit_rate": 0.0},
+    }
+    for worker, stats in per_worker.items():
+        for key, value in stats.items():
+            registry.gauge(f"serve.{worker}.cache.{key}").set(value)
+    rollup = EncodeCache.aggregate(per_worker.values())
+    registry.gauge("serve.encode_cache.hit_rate").set(rollup["hit_rate"])
+
+    text = format_prometheus(registry)
+    assert "# TYPE serve_worker0_cache_hit_rate gauge\n" in text
+    assert "serve_worker0_cache_hit_rate 0.9\n" in text
+    assert "serve_worker1_cache_hit_rate 0\n" in text
+    assert "serve_worker0_cache_hits 90\n" in text
+    assert "serve_worker1_cache_misses 900\n" in text
+    # 90 hits in 1000 lookups -> 0.09; a rate-mean would wrongly say 0.45.
+    assert "serve_encode_cache_hit_rate 0.09\n" in text
+
+
 def test_empty_registry_renders_empty_string():
     assert format_prometheus(MetricsRegistry()) == ""
 

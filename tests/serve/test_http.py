@@ -1,13 +1,14 @@
 """HTTP round-trips through the in-process Client: every task answers over
 a real loopback socket, error paths return typed statuses, /metrics
-reflects traffic, and concurrent clients get deterministic answers.
+reflects traffic, and concurrent clients get deterministic answers — for
+both the single-worker tier and the content-routed fleet tier.
 """
 
 import threading
 
 import pytest
 
-from repro.serve import Client
+from repro.serve import Client, PredictorFleet
 
 TASKS = ("entity_linking", "column_type", "relation_extraction",
          "row_population", "cell_filling", "schema_augmentation")
@@ -16,6 +17,13 @@ TASKS = ("entity_linking", "column_type", "relation_extraction",
 @pytest.fixture(scope="module")
 def client(predictor):
     with Client(predictor, max_batch_size=4, max_wait_ms=5.0) as active:
+        yield active
+
+
+@pytest.fixture(scope="module")
+def fleet_client(bundle):
+    fleet = PredictorFleet(bundle.predictor, workers=2, max_queue=16)
+    with Client(fleet=fleet) as active:
         yield active
 
 
@@ -70,6 +78,65 @@ def test_metrics_expose_requests_latency_and_cache(bundle, client):
     assert metrics["encode_cache"]["enabled"] == 1.0
     assert metrics["encode_cache"]["hits"] > 0
     assert 0.0 < metrics["encode_cache"]["hit_rate"] <= 1.0
+
+
+def test_fleet_healthz_lists_workers(fleet_client):
+    health = fleet_client.healthz()
+    assert sorted(health["tasks"]) == sorted(TASKS)
+    assert health["workers"] == ["worker0", "worker1"]
+
+
+@pytest.mark.parametrize("task", TASKS)
+def test_fleet_round_trip_matches_single_worker(bundle, fleet_client, task):
+    adapter = bundle.predictor.adapter_for(task)
+    instance = bundle.examples[task][0]
+    expected = adapter.predict_one(instance)
+    answer = fleet_client.predict(task, adapter.encode_instance(instance))
+    assert answer == {"task": task, "output": expected.output}
+
+
+def test_fleet_error_statuses(fleet_client):
+    status, body = fleet_client.post("no_such_task", {"instance": {}})
+    assert status == 404
+    status, body = fleet_client.post("entity_linking", {"wrong_key": []})
+    assert status == 400
+    status, body = fleet_client.post("entity_linking",
+                                     {"instance": {"row": 0}})
+    assert status == 400 and "bad request" in body["error"]
+
+
+def test_fleet_metrics_expose_per_worker_caches(bundle, fleet_client):
+    adapter = bundle.predictor.adapter_for("schema_augmentation")
+    payload = adapter.encode_instance(
+        bundle.examples["schema_augmentation"][0])
+    fleet_client.predict("schema_augmentation", payload)
+    fleet_client.predict("schema_augmentation", payload)  # repeat: a hit
+    metrics = fleet_client.metrics()
+    cache = metrics["encode_cache"]
+    assert sorted(cache["per_worker"]) == ["worker0", "worker1"]
+    assert cache["hits"] >= 1
+    assert cache["hits"] == sum(s["hits"]
+                                for s in cache["per_worker"].values())
+    text, content_type = fleet_client.metrics_prometheus()
+    assert content_type.startswith("text/plain")
+    assert "serve_worker0_cache_hit_rate" in text
+    assert "serve_worker1_cache_hit_rate" in text
+    assert "serve_encode_cache_hit_rate" in text
+
+
+def test_fleet_draining_returns_503_and_resume_recovers(bundle,
+                                                        fleet_client):
+    adapter = bundle.predictor.adapter_for("schema_augmentation")
+    payload = adapter.encode_instance(
+        bundle.examples["schema_augmentation"][0])
+    fleet = fleet_client.server.fleet
+    assert fleet.drain(timeout=10)
+    status, body = fleet_client.post("schema_augmentation",
+                                     {"instance": payload})
+    assert status == 503
+    assert body["error_class"] == "FleetUnavailable"
+    fleet.resume()
+    assert fleet_client.predict("schema_augmentation", payload)
 
 
 def test_concurrent_requests_are_deterministic(bundle, client):

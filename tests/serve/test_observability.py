@@ -2,6 +2,8 @@
 exposition, per-request journal events, and the acceptance guarantee that
 one traced request's spans cover >= 95% of its wall time."""
 
+import threading
+
 import pytest
 
 from repro.obs import EVENT_REQUEST, EVENT_TRACE, RunJournal, read_journal
@@ -123,8 +125,16 @@ def test_each_request_journals_summary_and_trace(bundle, journal_client):
     client.predict("entity_linking", payload)
     status, _ = client.post("no_such_task", {"instance": {}})
     assert status == 404
-    events = read_journal(journal.path)
-    requests = [e for e in events if e["event"] == EVENT_REQUEST]
+    # The request summary is journaled AFTER the response bytes reach the
+    # client (it records the final status and wall time), so give the
+    # handler thread a moment to finish writing.
+    pause = threading.Event()
+    for _ in range(200):
+        events = read_journal(journal.path)
+        requests = [e for e in events if e["event"] == EVENT_REQUEST]
+        if len(requests) >= 2:
+            break
+        pause.wait(0.01)
     traces = [e for e in events if e["event"] == EVENT_TRACE]
     assert [(e["task"], e["status"], e["instances"]) for e in requests] == [
         ("entity_linking", 200, 1), ("no_such_task", 404, 0)]

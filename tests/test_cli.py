@@ -140,10 +140,13 @@ def test_bench_compare_gate(capsys, tmp_path):
                  "--name", "run", "--json", out]) == 0
     capsys.readouterr()
     # comparing a run against itself passes and writes the verdict JSON
+    # (wide tolerance: this asserts the compare plumbing, not the
+    # run-to-run stability of a best-of-1 sub-5ms measurement)
     verdict = str(tmp_path / "comparison.json")
     assert main(["bench", "--warmup", "0", "--repeat", "1",
                  "--only", "visibility_construct", "--name", "again",
-                 "--compare-to", out, "--compare-json", verdict]) == 0
+                 "--compare-to", out, "--tolerance", "0.9",
+                 "--compare-json", verdict]) == 0
     captured = capsys.readouterr().out
     assert "bench compare: again vs baseline run" in captured
     with open(verdict) as handle:
