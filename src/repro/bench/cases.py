@@ -277,6 +277,63 @@ def _bucketed_batching_case() -> BenchCase:
                     "shuffled batches over the shared corpus.")
 
 
+# -- sharded corpus streaming -------------------------------------------------
+
+def _corpus_stream_case() -> BenchCase:
+    """Streaming batch assembly off a memory-mapped sharded corpus vs. the
+    in-memory path that materializes every linearized instance first.
+
+    The corpus is 10x the shared pipeline's (1200 tables), which is the
+    regime the shard pipeline targets: the streaming path's peak ndarray
+    footprint is one batch plus the memmapped index, while the reference
+    holds all 1200 ``TableInstance`` arrays at once — ``peak_bytes`` is the
+    headline, throughput the regression tripwire.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.batching import collate
+    from repro.core.stream import TableInstanceStream
+    from repro.data.shards import write_sharded_corpus
+
+    batch_size = 8
+
+    def setup():
+        config, tokenizer, entity_vocab, _, _ = _pipeline()
+        kb = generate_world(WorldConfig(seed=7))
+        directory = tempfile.mkdtemp(prefix="bench_corpus_")
+        dataset = write_sharded_corpus(
+            kb, SynthesisConfig(seed=11, n_tables=1200), directory,
+            n_shards=4)
+        linearizer = Linearizer(tokenizer, entity_vocab, config)
+        stream = TableInstanceStream(dataset, linearizer, split="train")
+        return stream, directory
+
+    def run(state) -> float:
+        stream, _ = state
+        for start in range(0, len(stream), batch_size):
+            chunk = [stream.fetch(i)
+                     for i in range(start, min(start + batch_size,
+                                               len(stream)))]
+            collate(chunk)
+        return float(len(stream))
+
+    def reference(state) -> float:
+        stream, _ = state
+        instances = [stream.fetch(i) for i in range(len(stream))]
+        for start in range(0, len(instances), batch_size):
+            collate(instances[start:start + batch_size])
+        return float(len(instances))
+
+    return BenchCase(
+        name="corpus_stream",
+        setup=setup, run=run, reference=reference, unit="instances",
+        description="One epoch of decode + linearize + collate streamed "
+                    "from a 4-shard memory-mapped corpus (1200 tables, 10x "
+                    "the shared pipeline) vs. materializing every instance "
+                    "in memory first; peak_bytes is the point.")
+
+
 # -- end-to-end pre-training --------------------------------------------------
 
 def _pretrain_case() -> BenchCase:
@@ -432,6 +489,7 @@ def default_cases() -> List[BenchCase]:
         _candidate_case(),
         _attention_case(),
         _bucketed_batching_case(),
+        _corpus_stream_case(),
         _pretrain_case(),
         _serve_throughput_case(),
         _serve_fleet_case(),

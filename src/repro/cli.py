@@ -4,7 +4,9 @@ Usage::
 
     python -m repro.cli world --seed 1                   # generate + describe a world
     python -m repro.cli corpus --tables 300 --out c.jsonl
+    python -m repro.cli synthesize --tables 5000 --shards 8 --workers 4 --out corpus/
     python -m repro.cli pretrain --tables 300 --epochs 8 --out ckpt/ --journal run.jsonl
+    python -m repro.cli pretrain --corpus corpus/ --shuffle shard --epochs 8 --out ckpt/
     python -m repro.cli finetune --task column_type --checkpoint ckpt/ --epochs 3
     python -m repro.cli probe --checkpoint ckpt/ --tables 300
     python -m repro.cli report --journal run.jsonl       # loss / timing summary
@@ -25,6 +27,61 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: SynthesisConfig fields that the shared argument group does NOT expose
+#: verbatim: ``seed`` is derived from the world seed (``--seed + 1``, the
+#: historical convention) and ``n_tables`` is spelled ``--tables``.
+_SYNTHESIS_SPECIAL = {"seed": None, "n_tables": "tables"}
+
+
+def add_synthesis_arguments(parser: argparse.ArgumentParser,
+                            tables_default: int = 300) -> None:
+    """Install the corpus-synthesis argument group on ``parser``.
+
+    Every flag except ``--seed``/``--scale``/``--tables`` is derived from
+    :class:`repro.data.synthesis.SynthesisConfig` by reflection, so a config
+    field added there shows up here (and in ``synthesize``) automatically —
+    the two subcommands can never drift apart.
+    """
+    import dataclasses
+
+    from repro.data.synthesis import SynthesisConfig
+
+    group = parser.add_argument_group(
+        "synthesis", "corpus synthesis (shared by corpus/synthesize/pretrain)")
+    group.add_argument("--seed", type=int, default=1,
+                       help="world seed; tables use seed+1")
+    group.add_argument("--scale", type=float, default=1.0,
+                       help="world size multiplier")
+    group.add_argument("--tables", type=int, default=tables_default,
+                       help="number of tables to synthesize")
+    for field in dataclasses.fields(SynthesisConfig):
+        if field.name in _SYNTHESIS_SPECIAL:
+            continue
+        flag = "--" + field.name.replace("_", "-")
+        if field.type == "bool" or isinstance(field.default, bool):
+            group.add_argument(flag, action=argparse.BooleanOptionalAction,
+                               default=field.default,
+                               help=f"SynthesisConfig.{field.name}")
+        else:
+            kind = float if isinstance(field.default, float) else int
+            group.add_argument(flag, type=kind, default=field.default,
+                               help=f"SynthesisConfig.{field.name}")
+
+
+def synthesis_config_from_args(args: argparse.Namespace):
+    """The :class:`SynthesisConfig` an :func:`add_synthesis_arguments`
+    namespace describes (synthesis seed = world seed + 1, as always)."""
+    import dataclasses
+
+    from repro.data.synthesis import SynthesisConfig
+
+    values = {"seed": args.seed + 1, "n_tables": args.tables}
+    for field in dataclasses.fields(SynthesisConfig):
+        if field.name in _SYNTHESIS_SPECIAL:
+            continue
+        values[field.name] = getattr(args, field.name)
+    return SynthesisConfig(**values)
 
 
 def _cmd_world(args: argparse.Namespace) -> int:
@@ -49,12 +106,11 @@ def _cmd_world(args: argparse.Namespace) -> int:
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.data.preprocessing import filter_relational, partition_corpus
     from repro.data.statistics import format_statistics, splits_statistics
-    from repro.data.synthesis import SynthesisConfig, build_corpus
+    from repro.data.synthesis import build_corpus
     from repro.kb.generator import WorldConfig, generate_world
 
     kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
-    corpus = filter_relational(build_corpus(
-        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+    corpus = filter_relational(build_corpus(kb, synthesis_config_from_args(args)))
     splits = partition_corpus(corpus, seed=args.seed)
     print(f"tables: {len(corpus)} (train/dev/test = {splits.sizes})")
     print(format_statistics(splits_statistics(splits)))
@@ -64,11 +120,29 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.data.shards import write_sharded_corpus
+    from repro.kb.generator import WorldConfig, generate_world
+
+    kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
+    dataset = write_sharded_corpus(kb, synthesis_config_from_args(args),
+                                   args.out, n_shards=args.shards,
+                                   workers=args.workers)
+    meta = dataset.metadata
+    print(f"records : {len(dataset)} across {meta.extra['n_shards']} shard(s)")
+    print(f"splits  : {meta.split_sizes}")
+    for strategy in sorted(meta.strategy_counts):
+        print(f"  {strategy:20s} {meta.strategy_counts[strategy]}")
+    print(f"fingerprint: {meta.extra['fingerprint']}")
+    print(f"written to {args.out}")
+    return 0
+
+
 def _cmd_pretrain(args: argparse.Namespace) -> int:
     from repro.config import TURLConfig
-    from repro.core.context import build_context
+    from repro.core.context import build_context, pretrain_streaming
     from repro.core.pretrain import save_checkpoint
-    from repro.data.synthesis import SynthesisConfig
+    from repro.data.shards import ShardedDataset, ShardFormatError
     from repro.kb.generator import WorldConfig
     from repro.obs import RunJournal
 
@@ -80,20 +154,32 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
             print(f"cannot open journal {args.journal}: {error}")
             return 1
     try:
-        context = build_context(
-            WorldConfig(seed=args.seed).scaled(args.scale),
-            SynthesisConfig(seed=args.seed + 1, n_tables=args.tables),
-            TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed,
-            journal=journal, sanitize=args.sanitize, shuffle=args.shuffle)
+        if args.corpus:
+            try:
+                dataset = ShardedDataset(args.corpus)
+            except ShardFormatError as error:
+                print(f"cannot open sharded corpus {args.corpus}: {error}")
+                return 1
+            model, tokenizer, entity_vocab, stats = pretrain_streaming(
+                dataset, TURLConfig(), pretrain_epochs=args.epochs,
+                seed=args.seed, journal=journal, sanitize=args.sanitize,
+                shuffle=args.shuffle)
+        else:
+            context = build_context(
+                WorldConfig(seed=args.seed).scaled(args.scale),
+                synthesis_config_from_args(args),
+                TURLConfig(), pretrain_epochs=args.epochs, seed=args.seed,
+                journal=journal, sanitize=args.sanitize, shuffle=args.shuffle)
+            model, tokenizer, entity_vocab = (context.model, context.tokenizer,
+                                              context.entity_vocab)
+            stats = context.pretrain_stats
     finally:
         if journal is not None:
             journal.close()
-    stats = context.pretrain_stats
     print(f"steps: {len(stats.losses)}  final loss: {stats.losses[-1]:.3f}")
     print(f"wall: {stats.wall_seconds:.2f}s  "
           f"throughput: {stats.throughput:.2f} steps/s")
-    save_checkpoint(args.out, context.model, context.tokenizer,
-                    context.entity_vocab)
+    save_checkpoint(args.out, model, tokenizer, entity_vocab)
     print(f"checkpoint written to {args.out}")
     if journal is not None:
         print(f"journal written to {args.journal}")
@@ -448,27 +534,40 @@ def build_parser() -> argparse.ArgumentParser:
     world.set_defaults(handler=_cmd_world)
 
     corpus = commands.add_parser("corpus", help="synthesize a table corpus")
-    corpus.add_argument("--seed", type=int, default=1)
-    corpus.add_argument("--scale", type=float, default=1.0)
-    corpus.add_argument("--tables", type=int, default=300)
+    add_synthesis_arguments(corpus)
     corpus.add_argument("--out", default=None)
     corpus.set_defaults(handler=_cmd_corpus)
 
+    synthesize = commands.add_parser(
+        "synthesize", help="write a sharded memory-mappable corpus")
+    add_synthesis_arguments(synthesize)
+    synthesize.add_argument("--out", required=True,
+                            help="directory for meta.json/index.bin/shard-*.bin")
+    synthesize.add_argument("--shards", type=int, default=4,
+                            help="number of payload shards")
+    synthesize.add_argument("--workers", type=int, default=1,
+                            help="parallel synthesis processes; output bytes "
+                                 "are identical for any worker count")
+    synthesize.set_defaults(handler=_cmd_synthesize)
+
     pretrain = commands.add_parser("pretrain", help="pre-train a TURL model")
-    pretrain.add_argument("--seed", type=int, default=1)
-    pretrain.add_argument("--scale", type=float, default=1.0)
-    pretrain.add_argument("--tables", type=int, default=300)
+    add_synthesis_arguments(pretrain)
+    pretrain.add_argument("--corpus", default=None, metavar="DIR",
+                          help="stream from a `synthesize --out DIR` sharded "
+                               "corpus instead of synthesizing in-process "
+                               "(synthesis flags are then ignored)")
     pretrain.add_argument("--epochs", type=int, default=8)
     pretrain.add_argument("--out", required=True)
     pretrain.add_argument("--journal", default=None,
                           help="write a JSONL run journal to this path")
     pretrain.add_argument("--sanitize", action="store_true",
                           help="run steps under the autograd sanitizer")
-    pretrain.add_argument("--shuffle", choices=("flat", "bucket"),
+    pretrain.add_argument("--shuffle", choices=("flat", "bucket", "shard"),
                           default="flat",
                           help="epoch order: flat (bit-identical historical "
-                               "order) or bucket (length-bucketed batches, "
-                               "no padding waste)")
+                               "order), bucket (length-bucketed batches, "
+                               "no padding waste) or shard (shard-local "
+                               "bucketing; pairs with --corpus)")
     pretrain.set_defaults(handler=_cmd_pretrain)
 
     finetune = commands.add_parser(

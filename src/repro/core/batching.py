@@ -157,6 +157,32 @@ def bucketed_chunk_indices(keys: Sequence[Any], batch_size: int,
     return chunks
 
 
+def shard_bucketed_chunk_indices(shard_ids: Sequence[int], keys: Sequence[Any],
+                                 batch_size: int, rng: np.random.Generator
+                                 ) -> List[List[int]]:
+    """Shard-local bucketed epoch order (``TrainSpec.shuffle="shard"``).
+
+    Shards are visited in a seeded random order; within each shard its items
+    are permuted and grouped into same-``key`` chunks of at most
+    ``batch_size`` (via :func:`bucketed_chunk_indices`).  Every item appears
+    in exactly one chunk, and consecutive chunks stay inside one payload
+    shard, so a memory-mapped dataset touches one shard's pages at a time.
+    Keys come from the shard *index* (e.g. the packed ``rows << 16 | cols``
+    shape code), so planning an epoch reads no payload bytes at all.
+    """
+    shards: Dict[int, List[int]] = {}
+    for position, shard in enumerate(shard_ids):
+        shards.setdefault(int(shard), []).append(position)
+    visit = sorted(shards)
+    visit = [visit[int(i)] for i in rng.permutation(len(visit))]
+    chunks: List[List[int]] = []
+    for shard in visit:
+        members = shards[shard]
+        order = np.asarray(members)[rng.permutation(len(members))]
+        chunks.extend(bucketed_chunk_indices(keys, batch_size, order, rng))
+    return chunks
+
+
 def batches_of(instances: List[TableInstance], batch_size: int,
                rng: np.random.Generator = None, shuffle: str = "flat"):
     """Yield collated batches, optionally shuffling instance order.

@@ -20,7 +20,9 @@ from repro.core.candidates import CandidateBuilder
 from repro.core.linearize import Linearizer, TableInstance
 from repro.core.model import TURLModel
 from repro.core.pretrain import Pretrainer, PretrainStats
+from repro.core.stream import TableInstanceStream
 from repro.data.corpus import CorpusSplits, TableCorpus
+from repro.data.dataset import Dataset
 from repro.data.preprocessing import filter_relational, partition_corpus
 from repro.data.synthesis import SynthesisConfig, build_corpus
 from repro.kb.generator import WorldConfig, generate_world
@@ -28,6 +30,73 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.obs import RunJournal
 from repro.text.tokenizer import WordPieceTokenizer
 from repro.text.vocab import EntityVocabulary
+
+
+def as_corpus_splits(corpus: Dataset, seed: int = 0) -> CorpusSplits:
+    """Materialize any :class:`~repro.data.dataset.Dataset` as splits.
+
+    ``CorpusSplits`` pass through; an unpartitioned ``TableCorpus`` is
+    partitioned with the paper's Section 5.1 procedure; anything else (e.g.
+    a :class:`~repro.data.shards.ShardedDataset`) contributes its three
+    named splits.
+    """
+    if isinstance(corpus, CorpusSplits):
+        return corpus
+    if isinstance(corpus, TableCorpus):
+        return partition_corpus(corpus, seed=seed)
+    return CorpusSplits(TableCorpus(corpus.instances("train")),
+                        TableCorpus(corpus.instances("validation")),
+                        TableCorpus(corpus.instances("test")))
+
+
+def pretrain_streaming(dataset: Dataset,
+                       model_config: TURLConfig = TURLConfig(),
+                       pretrain_epochs: int = 3,
+                       vocab_size: int = 4000,
+                       entity_min_frequency: int = 2,
+                       seed: int = 0,
+                       journal: Optional[RunJournal] = None,
+                       sanitize: bool = False,
+                       shuffle: str = "flat"):
+    """Pre-train directly off a dataset without materializing instances.
+
+    The streaming counterpart of :func:`build_context`'s pre-training stage:
+    vocabularies are built from the dataset's train split, but the epoch
+    loop draws each table through a
+    :class:`~repro.core.stream.TableInstanceStream` — decode + linearize
+    happen per step, so peak memory stays bounded by one batch regardless of
+    corpus size.  With ``shuffle="flat"`` the step sequence is bit-identical
+    to the eager in-memory path over the same split; ``shuffle="shard"``
+    adds shard-local bucketing for memory-mapped
+    :class:`~repro.data.shards.ShardedDataset` corpora.
+
+    Returns ``(model, tokenizer, entity_vocab, stats)``.
+    """
+    if hasattr(dataset, "metadata_texts"):
+        texts = dataset.metadata_texts("train")
+        counts = dataset.entity_counts("train")
+    else:
+        train = TableCorpus(dataset.instances("train"))
+        texts = train.metadata_texts()
+        counts = train.entity_counts()
+    tokenizer = WordPieceTokenizer.train(texts, vocab_size=vocab_size)
+    entity_vocab = EntityVocabulary.build_from_counts(
+        counts, min_frequency=entity_min_frequency)
+
+    model = TURLModel(len(tokenizer.vocab), len(entity_vocab), model_config,
+                      seed=seed)
+    linearizer = Linearizer(tokenizer, entity_vocab, model_config)
+    candidate_builder = CandidateBuilder(dataset.instances("train"),
+                                         entity_vocab, model_config)
+
+    stats = None
+    if pretrain_epochs > 0:
+        stream = TableInstanceStream(dataset, linearizer, split="train")
+        pretrainer = Pretrainer(model, stream, candidate_builder,
+                                model_config, seed=seed, journal=journal,
+                                sanitize=sanitize, shuffle=shuffle)
+        stats = pretrainer.train(n_epochs=pretrain_epochs)
+    return model, tokenizer, entity_vocab, stats
 
 
 @dataclass
@@ -71,19 +140,34 @@ def build_context(world_config: WorldConfig = WorldConfig(),
                   seed: int = 0,
                   journal: Optional[RunJournal] = None,
                   sanitize: bool = False,
-                  shuffle: str = "flat") -> TURLContext:
+                  shuffle: str = "flat",
+                  corpus: Optional[Dataset] = None,
+                  kb: Optional[KnowledgeBase] = None) -> TURLContext:
     """Build the full pipeline: world → corpus → vocabularies → pre-training.
 
     Set ``pretrain_epochs=0`` to skip pre-training (random initialization).
     ``journal`` (a :class:`repro.obs.RunJournal`) records one JSONL event
     per pre-training step; it never alters the seeded result.
     ``shuffle`` selects the pre-training epoch order: ``"flat"`` (the
-    historical bit-identical default) or ``"bucket"`` (length-bucketed
-    batches with no padding waste; seeded-equivalent, not bit-equal).
+    historical bit-identical default), ``"bucket"`` (length-bucketed batches
+    with no padding waste) or ``"shard"`` (shard-local bucketing; both
+    seeded-equivalent, not bit-equal, to flat).
+
+    ``corpus`` accepts any :class:`~repro.data.dataset.Dataset`
+    (``TableCorpus``, ``CorpusSplits`` or a memory-mapped
+    :class:`~repro.data.shards.ShardedDataset`) in place of in-process
+    synthesis; pass the matching ``kb`` for downstream task heads (a fresh
+    world is generated from ``world_config`` otherwise).  A full context
+    materializes the splits — for RAM-bounded streaming pre-training of a
+    checkpoint use :func:`pretrain_streaming` instead.
     """
-    kb = generate_world(world_config)
-    corpus = filter_relational(build_corpus(kb, synthesis_config))
-    splits = partition_corpus(corpus, seed=seed)
+    if corpus is None:
+        kb = generate_world(world_config) if kb is None else kb
+        table_corpus = filter_relational(build_corpus(kb, synthesis_config))
+        splits = partition_corpus(table_corpus, seed=seed)
+    else:
+        kb = generate_world(world_config) if kb is None else kb
+        splits = as_corpus_splits(corpus, seed=seed)
 
     tokenizer = WordPieceTokenizer.train(splits.train.metadata_texts(),
                                          vocab_size=vocab_size)

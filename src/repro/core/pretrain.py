@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.core.candidates import CandidateBuilder
 from repro.core.linearize import ETYPE_OBJECT, TableInstance
 from repro.core.masking import IGNORE, MaskingPolicy
 from repro.core.model import TURLModel
+from repro.core.stream import TableInstanceStream
 from repro.nn import eval_mode, masked_cross_entropy
 from repro.nn.serialization import load_state, save_state_dict
 from repro.obs import RunJournal, trace
@@ -61,10 +62,13 @@ class PretrainStats:
 class PretrainObjective(TrainableTask):
     """MLM + MER as a :class:`TrainableTask` on the shared engine.
 
-    Items are :class:`TableInstance` objects; the engine's ``batch_size``
-    chunks them and :meth:`loss` collates each chunk (an already-collated
-    batch dictionary is also accepted, for direct :meth:`Pretrainer.step`
-    calls).
+    Items are :class:`TableInstance` objects — or, when the pretrainer wraps
+    a :class:`~repro.core.stream.TableInstanceStream`, plain record
+    positions that :meth:`loss` resolves (decode + linearize) only at step
+    time, so a streaming epoch never materializes the corpus.  The engine's
+    ``batch_size`` chunks items and :meth:`loss` collates each chunk (an
+    already-collated batch dictionary is also accepted, for direct
+    :meth:`Pretrainer.step` calls).
     """
 
     name = "pretrain"
@@ -77,19 +81,43 @@ class PretrainObjective(TrainableTask):
         self.eval_instances = eval_instances
         self.max_eval_tables = max_eval_tables
 
-    def build_batches(self) -> Sequence[TableInstance]:
+    @property
+    def _stream(self) -> Optional[TableInstanceStream]:
+        instances = self.pretrainer.instances
+        return instances if isinstance(instances, TableInstanceStream) else None
+
+    def build_batches(self) -> Sequence[Any]:
+        stream = self._stream
+        if stream is not None:
+            return list(range(len(stream)))
         return list(self.pretrainer.instances)
 
+    def _resolve(self, item: Union[int, TableInstance]) -> TableInstance:
+        if isinstance(item, (int, np.integer)):
+            return self._stream.fetch(int(item))
+        return item
+
     def loss(self, batch: Union[Dict[str, np.ndarray], List[TableInstance],
-                                TableInstance],
+                                TableInstance, int],
              rng: np.random.Generator) -> StepOutput:
         if not isinstance(batch, dict):
             chunk = batch if isinstance(batch, list) else [batch]
-            batch = collate(chunk)
+            batch = collate([self._resolve(item) for item in chunk])
         return self.pretrainer.compute_loss(batch, rng)
 
-    def bucket_key(self, item: TableInstance):
+    def bucket_key(self, item: Union[int, TableInstance]):
+        if isinstance(item, (int, np.integer)):
+            return self._stream.bucket_of(int(item))
         return bucket_key(item)
+
+    def shard_key(self, item: Union[int, TableInstance]) -> int:
+        if isinstance(item, (int, np.integer)):
+            return self._stream.shard_of(int(item))
+        return 0
+
+    def stream_fingerprint(self) -> Optional[str]:
+        stream = self._stream
+        return stream.fingerprint() if stream is not None else None
 
     def eval_metric(self) -> Optional[float]:
         if self.eval_instances is None:
@@ -102,16 +130,27 @@ class PretrainObjective(TrainableTask):
 
 
 class Pretrainer:
-    """Runs MLM + MER pre-training over linearized tables."""
+    """Runs MLM + MER pre-training over linearized tables.
 
-    def __init__(self, model: TURLModel, instances: Sequence[TableInstance],
+    ``instances`` is either an eager ``Sequence[TableInstance]`` (the
+    historical in-memory path, bit-identical as ever) or a
+    :class:`~repro.core.stream.TableInstanceStream`, in which case records
+    are decoded and linearized lazily at step time and
+    ``shuffle="shard"`` orders epochs shard-locally.
+    """
+
+    def __init__(self, model: TURLModel,
+                 instances: Union[Sequence[TableInstance],
+                                  TableInstanceStream],
                  candidate_builder: CandidateBuilder,
                  config: Optional[TURLConfig] = None, seed: int = 0,
                  use_visibility: bool = True,
                  journal: Optional[RunJournal] = None,
                  sanitize: bool = False, shuffle: str = "flat"):
         self.model = model
-        self.instances = list(instances)
+        self.instances = (instances
+                          if isinstance(instances, TableInstanceStream)
+                          else list(instances))
         self.candidates = candidate_builder
         self.config = config if config is not None else model.config
         self.masking = MaskingPolicy(self.config, model.vocab_size,

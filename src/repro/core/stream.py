@@ -1,0 +1,85 @@
+"""Streaming bridge from a :class:`~repro.data.dataset.Dataset` to training.
+
+:class:`TableInstanceStream` exposes one split of a corpus as an indexed
+collection of :class:`~repro.core.linearize.TableInstance` — decoded and
+linearized lazily, one record at a time, so an epoch over a memory-mapped
+:class:`~repro.data.shards.ShardedDataset` never materializes the corpus.
+Items handed to the engine are plain record positions; the pretraining task
+resolves them through :meth:`fetch` at step time.
+
+Because the linearizer is deterministic, a flat-shuffled epoch over a stream
+is bit-identical to the same epoch over the eagerly-encoded instance list —
+the property the ``corpus_stream`` bench case and ``tools/corpus_smoke.py``
+pin down.  Per-item shard and bucket keys come straight from the shard
+index (no decode), which is what makes ``shuffle="shard"`` epoch planning
+free of I/O.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.linearize import Linearizer, TableInstance
+from repro.obs import get_registry
+
+
+class TableInstanceStream:
+    """Lazy, indexed view of one split, linearized on access.
+
+    Works with any :class:`~repro.data.dataset.Dataset`; datasets that
+    expose per-record index metadata (``split_indices`` / ``bucket_of`` /
+    ``shard_of`` / ``fingerprint``, i.e.
+    :class:`~repro.data.shards.ShardedDataset`) get exact shard/bucket keys,
+    others fall back to single-shard behaviour.
+    """
+
+    def __init__(self, dataset, linearizer: Linearizer, split: str = "train"):
+        self.dataset = dataset
+        self.linearizer = linearizer
+        self.split = split
+        if hasattr(dataset, "split_indices"):
+            self._records = np.asarray(dataset.split_indices(split))
+        else:
+            self._records = np.arange(len(dataset.instances(split)))
+            self._instances = list(dataset.instances(split))
+
+    def __len__(self) -> int:
+        return int(self._records.shape[0])
+
+    def __iter__(self) -> Iterator[TableInstance]:
+        for position in range(len(self)):
+            yield self.fetch(position)
+
+    def fetch(self, position: int) -> TableInstance:
+        """Decode + linearize the ``position``-th record of the split."""
+        record = int(self._records[position])
+        if hasattr(self.dataset, "table"):
+            table = self.dataset.table(record)
+        else:
+            table = self._instances[record]
+        get_registry().counter("corpus.stream.instances").inc()
+        return self.linearizer.encode(table)
+
+    def bucket_of(self, position: int) -> int:
+        """The stored index shape key (no decode); 0 without an index."""
+        if hasattr(self.dataset, "bucket_of"):
+            return self.dataset.bucket_of(int(self._records[position]))
+        return 0
+
+    def shard_of(self, position: int) -> int:
+        """The record's payload shard (no decode); 0 without an index."""
+        if hasattr(self.dataset, "shard_of"):
+            return self.dataset.shard_of(int(self._records[position]))
+        return 0
+
+    def fingerprint(self) -> Optional[str]:
+        """Content id binding checkpointed stream positions to this corpus."""
+        if hasattr(self.dataset, "fingerprint"):
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.dataset.fingerprint().encode("utf-8"))
+            digest.update(self.split.encode("utf-8"))
+            return digest.hexdigest()
+        return None

@@ -9,8 +9,22 @@ partitioning, and the Table 3 statistics report.
 
 from repro.data.table import EntityCell, Column, Table
 from repro.data.corpus import TableCorpus, CorpusSplits
-from repro.data.synthesis import SynthesisConfig, TableSynthesizer, build_corpus
+from repro.data.dataset import (
+    Dataset,
+    DatasetMetadata,
+    InstanceSet,
+    SPLIT_NAMES,
+    coerce_training_instances,
+    strategy_counter,
+)
+from repro.data.synthesis import RECIPE_NAMES, SynthesisConfig, TableSynthesizer, build_corpus
 from repro.data.preprocessing import is_relational, filter_relational, partition_corpus
+from repro.data.shards import (
+    ShardedDataset,
+    ShardFormatError,
+    ShardIntegrityError,
+    write_sharded_corpus,
+)
 from repro.data.statistics import corpus_statistics, format_statistics
 
 __all__ = [
@@ -19,12 +33,23 @@ __all__ = [
     "Table",
     "TableCorpus",
     "CorpusSplits",
+    "Dataset",
+    "DatasetMetadata",
+    "InstanceSet",
+    "SPLIT_NAMES",
+    "coerce_training_instances",
+    "strategy_counter",
+    "RECIPE_NAMES",
     "SynthesisConfig",
     "TableSynthesizer",
     "build_corpus",
     "is_relational",
     "filter_relational",
     "partition_corpus",
+    "ShardedDataset",
+    "ShardFormatError",
+    "ShardIntegrityError",
+    "write_sharded_corpus",
     "corpus_statistics",
     "format_statistics",
 ]

@@ -1,11 +1,18 @@
-"""Table corpus container with persistence and derived vocabulary helpers."""
+"""Table corpus container with persistence and derived vocabulary helpers.
+
+Both containers here implement the :class:`repro.data.dataset.Dataset`
+protocol (``__len__`` / ``__iter__`` / ``instances(split)`` / ``metadata``),
+so training entry points accept them interchangeably with the memory-mapped
+:class:`repro.data.shards.ShardedDataset`.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.data.dataset import DatasetMetadata, strategy_counter
 from repro.data.table import Table
 
 
@@ -35,6 +42,32 @@ class TableCorpus:
             raise ValueError(f"duplicate table id: {table.table_id}")
         self.tables.append(table)
         self._by_id[table.table_id] = table
+
+    # -- Dataset protocol --------------------------------------------------
+    def instances(self, split: str = "train") -> List[Table]:
+        """An unpartitioned corpus is all training data: ``"train"`` returns
+        every table, the held-out splits are empty (partition first with
+        :func:`repro.data.preprocessing.partition_corpus` to populate them).
+        """
+        return list(self.tables) if split == "train" else []
+
+    @property
+    def metadata(self) -> DatasetMetadata:
+        return DatasetMetadata(
+            source="memory",
+            n_records=len(self.tables),
+            split_sizes={"train": len(self.tables), "validation": 0, "test": 0},
+            strategy_counts=strategy_counter(self.tables),
+        )
+
+    # -- strategy slicing --------------------------------------------------
+    def strategy_counts(self) -> Counter:
+        """Tables per synthesis strategy tag (``"untagged"`` when absent)."""
+        return Counter(strategy_counter(self.tables))
+
+    def by_strategy(self, strategy: str) -> "TableCorpus":
+        """The sub-corpus produced by one synthesis recipe."""
+        return TableCorpus(t for t in self.tables if t.strategy == strategy)
 
     # -- derived statistics ------------------------------------------------
     def entity_counts(self) -> Counter:
@@ -85,7 +118,13 @@ class TableCorpus:
 
 @dataclass
 class CorpusSplits:
-    """Pre-training / validation / test partition (paper Section 5.1)."""
+    """Pre-training / validation / test partition (paper Section 5.1).
+
+    Each table carries its synthesis strategy tag (``Table.strategy``), so
+    evals can slice any split by recipe difficulty — uniformly for in-memory
+    and sharded corpora (:meth:`repro.data.shards.ShardedDataset.splits`
+    round-trips the tags through shard metadata).
+    """
 
     train: TableCorpus
     validation: TableCorpus
@@ -94,3 +133,43 @@ class CorpusSplits:
     @property
     def sizes(self) -> tuple:
         return (len(self.train), len(self.validation), len(self.test))
+
+    # -- Dataset protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.train) + len(self.validation) + len(self.test)
+
+    def __iter__(self) -> Iterator[Table]:
+        for corpus in (self.train, self.validation, self.test):
+            yield from corpus
+
+    def instances(self, split: str = "train") -> List[Table]:
+        corpora = {"train": self.train, "validation": self.validation,
+                   "test": self.test}
+        if split not in corpora:
+            raise KeyError(f"unknown split {split!r}; "
+                           f"expected one of {tuple(corpora)}")
+        return list(corpora[split].tables)
+
+    @property
+    def metadata(self) -> DatasetMetadata:
+        return DatasetMetadata(
+            source="memory",
+            n_records=len(self),
+            split_sizes={"train": len(self.train),
+                         "validation": len(self.validation),
+                         "test": len(self.test)},
+            strategy_counts=strategy_counter(self),
+        )
+
+    # -- strategy slicing --------------------------------------------------
+    def strategy_counts(self) -> Dict[str, Counter]:
+        """Per-split table counts by strategy tag."""
+        return {"train": self.train.strategy_counts(),
+                "validation": self.validation.strategy_counts(),
+                "test": self.test.strategy_counts()}
+
+    def by_strategy(self, strategy: str) -> "CorpusSplits":
+        """Slice every split down to one synthesis recipe's tables."""
+        return CorpusSplits(self.train.by_strategy(strategy),
+                            self.validation.by_strategy(strategy),
+                            self.test.by_strategy(strategy))

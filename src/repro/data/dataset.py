@@ -1,0 +1,148 @@
+"""The unified ``Dataset`` protocol over in-memory and sharded corpora.
+
+Every corpus-shaped object in the repo — the legacy in-memory
+:class:`~repro.data.corpus.TableCorpus`, the partitioned
+:class:`~repro.data.corpus.CorpusSplits`, the memory-mapped
+:class:`~repro.data.shards.ShardedDataset`, and the per-task instance
+containers — speaks one small protocol:
+
+``__len__``
+    total number of records (tables or task instances)
+``__iter__``
+    iterate every record, in stable on-disk / construction order
+``instances(split)``
+    the records of one split (``"train"`` / ``"validation"`` / ``"test"``);
+    possibly a lazy view that decodes on iteration
+``metadata``
+    a :class:`DatasetMetadata` describing provenance, split sizes and the
+    per-strategy difficulty mix
+
+Training entry points (``Trainer`` via the task heads' ``finetune``,
+``Pretrainer``, ``build_context``) accept any implementation.  Bare
+``list``/``tuple`` arguments still work behind a ``DeprecationWarning``
+shim (:func:`coerce_training_instances`) and are scheduled for removal two
+PRs after this one; lint rule ``API002`` keeps new list-typed corpus
+parameters out of the tree.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Protocol, Sequence, Tuple, runtime_checkable
+
+SPLIT_NAMES = ("train", "validation", "test")
+
+
+@dataclass(frozen=True)
+class DatasetMetadata:
+    """Provenance and composition of a dataset."""
+
+    #: where the records live: ``"memory"`` or a shard-directory path
+    source: str
+    #: total record count across splits
+    n_records: int
+    #: records per split name
+    split_sizes: Dict[str, int] = field(default_factory=dict)
+    #: records per synthesis strategy tag (difficulty slicing); untagged
+    #: records are counted under ``"untagged"``
+    strategy_counts: Dict[str, int] = field(default_factory=dict)
+    #: format- or source-specific details (shard count, seed, config, ...)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "n_records": self.n_records,
+            "split_sizes": dict(self.split_sizes),
+            "strategy_counts": dict(self.strategy_counts),
+            "extra": dict(self.extra),
+        }
+
+
+@runtime_checkable
+class Dataset(Protocol):
+    """Structural protocol every corpus container implements."""
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Any]: ...
+
+    def instances(self, split: str = "train") -> Sequence[Any]: ...
+
+    @property
+    def metadata(self) -> DatasetMetadata: ...
+
+
+class InstanceSet:
+    """Minimal in-memory :class:`Dataset` over flat instance lists.
+
+    The migration target for call sites that used to pass bare lists into
+    ``finetune(...)``: wrap the list (optionally per split) and every entry
+    point accepts it.
+    """
+
+    def __init__(self, train: Sequence[Any] = (),
+                 validation: Sequence[Any] = (),
+                 test: Sequence[Any] = (), source: str = "memory"):
+        self._splits: Dict[str, List[Any]] = {
+            "train": list(train),
+            "validation": list(validation),
+            "test": list(test),
+        }
+        self._source = source
+
+    def __len__(self) -> int:
+        return sum(len(items) for items in self._splits.values())
+
+    def __iter__(self) -> Iterator[Any]:
+        for name in SPLIT_NAMES:
+            yield from self._splits[name]
+
+    def instances(self, split: str = "train") -> List[Any]:
+        if split not in self._splits:
+            raise KeyError(f"unknown split {split!r}; "
+                           f"expected one of {SPLIT_NAMES}")
+        return list(self._splits[split])
+
+    @property
+    def metadata(self) -> DatasetMetadata:
+        return DatasetMetadata(
+            source=self._source,
+            n_records=len(self),
+            split_sizes={name: len(items)
+                         for name, items in self._splits.items()},
+            strategy_counts=strategy_counter(self),
+        )
+
+
+def strategy_counter(records: Any) -> Dict[str, int]:
+    """Count records by strategy tag (``"untagged"`` when absent/None)."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        table = getattr(record, "table", record)
+        tag = getattr(table, "strategy", None) or "untagged"
+        counts[tag] = counts.get(tag, 0) + 1
+    return counts
+
+
+def coerce_training_instances(data: Any, *, owner: str,
+                              split: str = "train") -> Tuple[List[Any], Any]:
+    """Accept a :class:`Dataset` (preferred) or a bare sequence (deprecated).
+
+    Returns ``(instances, dataset_or_None)``.  Bare ``list``/``tuple``
+    arguments emit a ``DeprecationWarning`` (mirroring the PR 5
+    ``evaluate_map`` shim) but keep working bit-identically; any other
+    iterable is consumed silently, since instance-level generators are a
+    supported internal idiom.
+    """
+    if isinstance(data, Dataset) and not isinstance(data, (list, tuple)):
+        return list(data.instances(split)), data
+    if isinstance(data, (list, tuple)):
+        warnings.warn(
+            f"{owner}: passing a bare list of instances is deprecated; "
+            "pass a Dataset (e.g. repro.data.InstanceSet(train=...)) — "
+            "list arguments will be removed two PRs after PR 10",
+            DeprecationWarning, stacklevel=3)
+        return list(data), None
+    return list(data), None

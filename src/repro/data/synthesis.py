@@ -47,49 +47,82 @@ class SynthesisConfig:
     unique_anchors: bool = True
 
 
-class TableSynthesizer:
-    """Generates relational tables from a knowledge base."""
+#: Recipe names in weight-table order — the stable strategy-tag inventory
+#: shard metadata encodes (:mod:`repro.data.shards`) and evals slice on.
+RECIPE_NAMES: Tuple[str, ...] = (
+    "filmography",
+    "award_recipients",
+    "squad",
+    "discography",
+    "club_list",
+    "films_by_language",
+    "actor_filmography",
+    "city_list",
+    "country_athletes",
+    "films_by_country",
+    "transfers",
+)
 
-    def __init__(self, kb: KnowledgeBase, config: SynthesisConfig = SynthesisConfig()):
+
+class TableSynthesizer:
+    """Generates relational tables from a knowledge base.
+
+    ``rng`` may be injected (e.g. a per-shard ``default_rng(SeedSequence)``
+    stream from :func:`repro.data.shards.write_sharded_corpus`); by default
+    the synthesizer owns a ``default_rng(config.seed)`` stream, which keeps
+    the historical output bit-identical.  ``table_id_prefix`` namespaces the
+    generated ids so shards can synthesize in parallel without collisions.
+    """
+
+    def __init__(self, kb: KnowledgeBase, config: SynthesisConfig = SynthesisConfig(),
+                 rng: Optional[np.random.Generator] = None,
+                 table_id_prefix: str = "tbl"):
         self.kb = kb
         self.config = config
-        self.rng = np.random.default_rng(config.seed)
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._prefix = table_id_prefix
         self._counter = 0
         self._used_anchors: set = set()
-        self._recipes: List[Tuple[Callable[[], Optional[Table]], float]] = [
-            (self._filmography_table, 1.2),
-            (self._award_recipients_table, 1.0),
-            (self._squad_table, 1.2),
-            (self._discography_table, 0.8),
-            (self._club_list_table, 0.6),
-            (self._films_by_language_table, 0.8),
-            (self._actor_filmography_table, 0.8),
-            (self._city_list_table, 0.4),
-            (self._country_athletes_table, 0.8),
-            (self._films_by_country_table, 0.5),
-            (self._transfers_table, 0.8),
+        self._recipes: List[Tuple[str, Callable[[], Optional[Table]], float]] = [
+            ("filmography", self._filmography_table, 1.2),
+            ("award_recipients", self._award_recipients_table, 1.0),
+            ("squad", self._squad_table, 1.2),
+            ("discography", self._discography_table, 0.8),
+            ("club_list", self._club_list_table, 0.6),
+            ("films_by_language", self._films_by_language_table, 0.8),
+            ("actor_filmography", self._actor_filmography_table, 0.8),
+            ("city_list", self._city_list_table, 0.4),
+            ("country_athletes", self._country_athletes_table, 0.8),
+            ("films_by_country", self._films_by_country_table, 0.5),
+            ("transfers", self._transfers_table, 0.8),
         ]
 
     # -- public API --------------------------------------------------------
     def generate(self, n_tables: Optional[int] = None) -> TableCorpus:
-        """Generate ``n_tables`` tables (default: config value)."""
+        """Generate ``n_tables`` tables (default: config value).
+
+        Every accepted table is tagged with the recipe name that produced it
+        (``Table.strategy``); the tag is assigned after acceptance, so it
+        consumes no randomness and the seeded output is unchanged.
+        """
         target = n_tables if n_tables is not None else self.config.n_tables
-        recipes, weights = zip(*self._recipes)
+        names, recipes, weights = zip(*self._recipes)
         weights = np.asarray(weights) / np.sum(weights)
         tables: List[Table] = []
         attempts = 0
         while len(tables) < target and attempts < target * 20:
             attempts += 1
-            recipe = recipes[int(self.rng.choice(len(recipes), p=weights))]
-            table = recipe()
+            pick = int(self.rng.choice(len(recipes), p=weights))
+            table = recipes[pick]()
             if table is not None and table.n_rows >= self.config.min_rows:
+                table.strategy = names[pick]
                 tables.append(table)
         return TableCorpus(tables)
 
     # -- noise helpers ------------------------------------------------------
     def _next_id(self) -> str:
         self._counter += 1
-        return f"tbl_{self._counter:06d}"
+        return f"{self._prefix}_{self._counter:06d}"
 
     def _claim(self, recipe: str, anchor_id: str) -> bool:
         """Reserve a (recipe, anchor) pair; False if already generated."""

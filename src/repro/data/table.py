@@ -69,6 +69,10 @@ class Table:
     topic_entity: Optional[str]
     columns: List[Column]
     subject_column: int = 0
+    #: synthesis recipe that produced this table (``None`` for tables from
+    #: external/legacy sources) — ground truth for difficulty slicing, carried
+    #: through JSON persistence and shard metadata.
+    strategy: Optional[str] = None
 
     def __post_init__(self) -> None:
         lengths = {len(column.cells) for column in self.columns}
@@ -122,7 +126,7 @@ class Table:
 
     # -- persistence ------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "table_id": self.table_id,
             "page_title": self.page_title,
             "section_title": self.section_title,
@@ -140,6 +144,10 @@ class Table:
                 for column in self.columns
             ],
         }
+        # Untagged tables keep the historical wire format byte-for-byte.
+        if self.strategy is not None:
+            payload["strategy"] = self.strategy
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "Table":
@@ -157,6 +165,7 @@ class Table:
             topic_entity=payload["topic_entity"],
             columns=columns,
             subject_column=payload["subject_column"],
+            strategy=payload.get("strategy"),
         )
 
     def to_json(self) -> str:

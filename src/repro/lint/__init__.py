@@ -19,6 +19,10 @@ DEF001    no mutable default arguments
 EXC001    no bare ``except:``
 API001    no in-repo calls to deprecated API shims (``evaluate_map`` /
           ``evaluate_precision_at`` / ``finetune(learning_rate=...)``)
+API002    no function parameters typed ``List[Table]`` / ``Sequence[Table]``
+          — corpus-shaped inputs accept ``repro.data.Dataset`` (or
+          ``Iterable[Table]``) so sharded corpora stream without
+          materializing
 OBS002    span / metric names are lowercase ``[a-z0-9_]`` segments joined
           by ``/`` or ``.`` (``area/verb``, ``serve.latency.<task>``)
 LNT000    every ``# lint: disable=RULE(...)`` suppression carries a reason

@@ -127,6 +127,12 @@ RULES: Dict[str, Rule] = {rule.id: rule for rule in [
          "use the uniform `evaluate(...) -> TaskMetrics` entry point (or "
          "`finetune(lr=...)`) instead of the deprecation shim",
          _everywhere),
+    Rule("API002", "list-typed-corpus-param",
+         "function parameter typed List[Table]/Sequence[Table] pins the "
+         "corpus in memory",
+         "accept a repro.data.Dataset (or Iterable[Table]) so memory-mapped "
+         "sharded corpora stream through without materializing",
+         _in_repro),
     Rule("OBS002", "metric-name-style",
          "span/metric name is not a lowercase slash/dot path",
          "name spans and metrics as lowercase [a-z0-9_] segments joined by "
@@ -318,12 +324,40 @@ class _RuleVisitor(ast.NodeVisitor):
                            f"mutable default argument in `{node.name}` is "
                            "evaluated once and shared across calls")
 
+    # -- API002 ------------------------------------------------------------
+    #: Container heads that force an eagerly materialized corpus parameter.
+    EAGER_CONTAINER_HEADS = {"List", "Sequence", "list"}
+
+    def _check_corpus_params(self, node) -> None:
+        if not self._active.get("API002"):
+            return
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            annotation = arg.annotation
+            if not isinstance(annotation, ast.Subscript):
+                continue
+            head = annotation.value
+            head_name = (head.attr if isinstance(head, ast.Attribute)
+                         else head.id if isinstance(head, ast.Name) else "")
+            if head_name not in self.EAGER_CONTAINER_HEADS:
+                continue
+            inner = annotation.slice
+            inner_name = (inner.attr if isinstance(inner, ast.Attribute)
+                          else inner.id if isinstance(inner, ast.Name) else "")
+            if inner_name == "Table":
+                self._flag("API002", arg,
+                           f"parameter `{arg.arg}: {head_name}[Table]` of "
+                           f"`{node.name}` forces an in-memory corpus — "
+                           "accept Dataset or Iterable[Table]")
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_corpus_params(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_corpus_params(node)
         self.generic_visit(node)
 
     # -- EXC001 ------------------------------------------------------------

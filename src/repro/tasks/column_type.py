@@ -19,6 +19,7 @@ from repro.core.context import TURLContext
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
+from repro.data.dataset import SPLIT_NAMES, DatasetMetadata, strategy_counter
 from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.nn import Linear, Module, Tensor, binary_cross_entropy_logits, eval_mode, no_grad, stack
@@ -44,12 +45,41 @@ class ColumnInstance:
 
 @dataclass
 class ColumnTypeDataset:
-    """Train/validation/test column instances plus the type vocabulary."""
+    """Train/validation/test column instances plus the type vocabulary.
+
+    Implements the :class:`repro.data.Dataset` protocol (``__len__`` /
+    ``__iter__`` / ``instances`` / ``metadata``) so it plugs into any
+    dataset-driven entry point.
+    """
 
     type_names: List[str]
     train: List[ColumnInstance] = field(default_factory=list)
     validation: List[ColumnInstance] = field(default_factory=list)
     test: List[ColumnInstance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.train) + len(self.validation) + len(self.test)
+
+    def __iter__(self):
+        yield from self.train
+        yield from self.validation
+        yield from self.test
+
+    def instances(self, split: str = "train") -> List[ColumnInstance]:
+        try:
+            return list(getattr(self, split))
+        except AttributeError:
+            raise KeyError(f"unknown split {split!r}; "
+                           f"expected one of {SPLIT_NAMES}") from None
+
+    @property
+    def metadata(self) -> DatasetMetadata:
+        return DatasetMetadata(
+            source="memory", n_records=len(self),
+            split_sizes={name: len(getattr(self, name))
+                         for name in SPLIT_NAMES},
+            strategy_counts=strategy_counter(self),
+            extra={"n_types": len(self.type_names)})
 
     @property
     def type_index(self) -> Dict[str, int]:

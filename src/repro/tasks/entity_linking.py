@@ -26,6 +26,7 @@ from repro.core.context import TURLContext
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
+from repro.data.dataset import coerce_training_instances
 from repro.data.table import Table
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.lookup import LookupService
@@ -300,8 +301,12 @@ class TURLEntityLinker(Module):
         losses.  ``schedule="linear"`` / ``gradient_clip`` opt into the
         paper's recipe; ``max_instances`` subsamples whole tables.  An
         explicit ``spec`` overrides the keyword recipe wholesale;
-        ``learning_rate`` is a deprecated alias of ``lr``.
+        ``learning_rate`` is a deprecated alias of ``lr``.  ``instances``
+        accepts any :class:`repro.data.Dataset` (its train split is used);
+        bare lists still work behind a ``DeprecationWarning``.
         """
+        instances, _ = coerce_training_instances(
+            instances, owner="TURLEntityLinker.finetune")
         if learning_rate is not None:
             warnings.warn("finetune(learning_rate=...) is deprecated; "
                           "pass lr=...", DeprecationWarning, stacklevel=2)

@@ -21,6 +21,7 @@ from repro.core.batching import encode_table
 from repro.core.linearize import Linearizer
 from repro.core.model import TURLModel
 from repro.data.corpus import TableCorpus
+from repro.data.dataset import coerce_training_instances
 from repro.data.table import Column, Table
 from repro.nn import Module, Parameter, Tensor, binary_cross_entropy_logits, eval_mode, no_grad
 from repro.obs import RunJournal, trace
@@ -171,8 +172,12 @@ class TURLSchemaAugmenter(Module):
         returns per-epoch losses.
 
         An explicit ``spec`` overrides the keyword recipe wholesale;
-        ``learning_rate`` is a deprecated alias of ``lr``.
+        ``learning_rate`` is a deprecated alias of ``lr``.  ``instances``
+        accepts any :class:`repro.data.Dataset` (its train split is used);
+        bare lists still work behind a ``DeprecationWarning``.
         """
+        instances, _ = coerce_training_instances(
+            instances, owner="TURLSchemaAugmenter.finetune")
         if learning_rate is not None:
             warnings.warn("finetune(learning_rate=...) is deprecated; "
                           "pass lr=...", DeprecationWarning, stacklevel=2)

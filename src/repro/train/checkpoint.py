@@ -31,10 +31,14 @@ MODEL_FILE = "model.npz"
 OPTIMIZER_FILE = "optimizer.npz"
 
 
+def _state_to_json(state: dict) -> dict:
+    """A bit-generator state dict with big ints stringified for JSON safety."""
+    return json.loads(json.dumps(state, default=str))
+
+
 def _rng_state_to_json(rng: np.random.Generator) -> dict:
     """The bit-generator state with big ints stringified for JSON safety."""
-    state = rng.bit_generator.state
-    return json.loads(json.dumps(state, default=str))
+    return _state_to_json(rng.bit_generator.state)
 
 
 def _rng_state_from_json(payload: dict) -> dict:
@@ -74,6 +78,15 @@ def save_training_state(directory: str, trainer) -> None:
         "step_index": trainer.step_index,
         "epochs_completed": trainer.epochs_completed,
         "rng_state": _rng_state_to_json(trainer.rng),
+        # Stream position: which chunk of the in-flight epoch comes next,
+        # plus the RNG snapshot that (re)derives this epoch's chunk plan.
+        # Together they make mid-epoch resume exact for streaming datasets.
+        "chunks_consumed": trainer.chunks_consumed,
+        "epoch_start_rng_state": (
+            _state_to_json(trainer._epoch_start_rng_state)
+            if trainer._epoch_start_rng_state is not None else None),
+        "epoch_losses_partial": list(trainer._epoch_losses),
+        "stream_fingerprint": trainer.task.stream_fingerprint(),
     }
     with open(os.path.join(directory, TRAINER_STATE_FILE), "w") as handle:
         json.dump(state, handle, indent=2)
@@ -114,4 +127,18 @@ def load_training_state(directory: str, task,
     trainer.step_index = state["step_index"]
     trainer.epochs_completed = state["epochs_completed"]
     trainer.rng.bit_generator.state = _rng_state_from_json(state["rng_state"])
+
+    saved_fingerprint = state.get("stream_fingerprint")
+    if saved_fingerprint is not None:
+        current = task.stream_fingerprint()
+        if current != saved_fingerprint:
+            raise ValueError(
+                "checkpointed stream position belongs to a different corpus "
+                f"(saved fingerprint {saved_fingerprint}, task has {current}); "
+                "rebuild the task over the original dataset")
+    trainer.chunks_consumed = state.get("chunks_consumed", 0)
+    epoch_start = state.get("epoch_start_rng_state")
+    trainer._epoch_start_rng_state = (
+        _rng_state_from_json(epoch_start) if epoch_start is not None else None)
+    trainer._epoch_losses = list(state.get("epoch_losses_partial", []))
     return trainer

@@ -49,7 +49,7 @@ from repro.obs.clock import perf_counter
 from repro.train.task import StepOutput, TrainableTask
 
 SCHEDULES = ("constant", "linear")
-SHUFFLE_MODES = ("flat", "bucket")
+SHUFFLE_MODES = ("flat", "bucket", "shard")
 
 
 @dataclass
@@ -72,7 +72,10 @@ class TrainSpec:
     #: epoch order: ``"flat"`` reproduces the historical order bit-for-bit
     #: (one permutation, sequential chunks); ``"bucket"`` groups items by
     #: :meth:`TrainableTask.bucket_key` so multi-instance batches collate
-    #: with minimal padding (seeded-equivalent coverage, different order).
+    #: with minimal padding (seeded-equivalent coverage, different order);
+    #: ``"shard"`` additionally keeps consecutive batches inside one payload
+    #: shard (:meth:`TrainableTask.shard_key`) so streaming datasets read
+    #: with page locality.
     shuffle: str = "flat"
     seed: int = 0
     max_items: Optional[int] = None
@@ -194,6 +197,13 @@ class Trainer:
         self.optimizer = optimizer
         self.epochs_completed = 0
         self.step_index = 0
+        #: chunks of the current epoch already consumed — with
+        #: :attr:`_epoch_start_rng_state` this is the checkpointed stream
+        #: position that makes mid-epoch resume exact.
+        self.chunks_consumed = 0
+        self._epoch_start_rng_state: Optional[dict] = None
+        self._epoch_losses: List[float] = []
+        self._pending_chunks: Optional[List[Any]] = None
         self._items: Optional[List[Any]] = None
         self._best_epoch_loss = math.inf
         self._epochs_since_improvement = 0
@@ -297,12 +307,17 @@ class Trainer:
                     "grad_norm": grad_norm, "lr": lr, "updated": 1.0}
 
     # -- the loop -----------------------------------------------------------
-    def fit(self, epochs: Optional[int] = None) -> TrainStats:
+    def fit(self, epochs: Optional[int] = None,
+            max_steps: Optional[int] = None) -> TrainStats:
         """Train until ``spec.epochs`` total epochs are completed.
 
         ``epochs`` caps how many *additional* epochs this call runs (used by
         checkpoint/resume tests and incremental training); by default the
-        remaining ``spec.epochs - epochs_completed`` run.  Returns the stats
+        remaining ``spec.epochs - epochs_completed`` run.  ``max_steps`` caps
+        this call's optimization steps and may pause mid-epoch — the stream
+        position (epoch-start RNG state + chunks consumed) is part of
+        :meth:`save`, so a later :meth:`fit` (possibly after a restore)
+        continues the interrupted epoch bit-identically.  Returns the stats
         of this call only.
         """
         stats = TrainStats()
@@ -320,15 +335,18 @@ class Trainer:
         # eval_metric hops threads.
         self._fit_context = capture_context()
         train_start = perf_counter()
+        paused = False
         with trace(f"{self.task.name}/train"):
             while self.epochs_completed < target:
-                epoch_losses: List[float] = []
-                for indices in self._epoch_chunks(items):
+                chunks = self._ensure_epoch_chunks(items)
+                while self.chunks_consumed < len(chunks):
+                    indices = chunks[self.chunks_consumed]
                     chunk = [items[int(i)] for i in indices]
                     batch = chunk[0] if spec.batch_size == 1 else chunk
                     step_start = perf_counter()
                     result = self.run_step(batch)
                     step_seconds = perf_counter() - step_start
+                    self.chunks_consumed += 1
                     if result is None:
                         continue
                     self.step_index += 1
@@ -342,27 +360,58 @@ class Trainer:
                             continue
                         stats.extras.setdefault(key, []).append(value)
                     if result["updated"]:
-                        epoch_losses.append(result["loss"])
+                        self._epoch_losses.append(result["loss"])
                     self._journal_step(result, step_seconds)
                     if (spec.eval_every
                             and self.step_index % spec.eval_every == 0):
                         self._run_eval(stats)
-                epoch_loss = (float(np.mean(epoch_losses))
-                              if epoch_losses else 0.0)
-                stats.epoch_losses.append(epoch_loss)
-                get_registry().histogram(
-                    f"{self._metric_prefix}.epoch_loss").observe(epoch_loss)
-                self.epochs_completed += 1
-                if self._should_stop_early(epoch_loss):
-                    stats.stopped_early = True
+                    if max_steps is not None and stats.steps >= max_steps:
+                        paused = True
+                        break
+                if self.chunks_consumed >= len(chunks):
+                    epoch_loss = (float(np.mean(self._epoch_losses))
+                                  if self._epoch_losses else 0.0)
+                    stats.epoch_losses.append(epoch_loss)
+                    get_registry().histogram(
+                        f"{self._metric_prefix}.epoch_loss").observe(epoch_loss)
+                    self.epochs_completed += 1
+                    self._pending_chunks = None
+                    self._epoch_start_rng_state = None
+                    self.chunks_consumed = 0
+                    self._epoch_losses = []
+                    if self._should_stop_early(epoch_loss):
+                        stats.stopped_early = True
+                        break
+                if paused:
                     break
-        if (spec.eval_at_end and not stats.stopped_early
+        if (spec.eval_at_end and not stats.stopped_early and not paused
                 and self.epochs_completed >= spec.epochs):
             self._run_eval(stats)
         stats.wall_seconds = perf_counter() - train_start
         get_registry().gauge(
             f"{self._metric_prefix}.throughput").set(stats.throughput)
         return stats
+
+    def _ensure_epoch_chunks(self, items: List[Any]) -> List[Any]:
+        """The current epoch's chunk plan, deriving or re-deriving it.
+
+        A fresh epoch snapshots the RNG state *before* drawing the plan; a
+        mid-epoch resume (``chunks_consumed > 0`` with no plan in memory)
+        replays the draw from that snapshot and then reinstates the restored
+        mid-epoch RNG state, so the remaining chunks — and every later
+        masking draw — match an uninterrupted run bit-for-bit.
+        """
+        if self._pending_chunks is not None:
+            return self._pending_chunks
+        if self._epoch_start_rng_state is not None and self.chunks_consumed:
+            current = self.rng.bit_generator.state
+            self.rng.bit_generator.state = self._epoch_start_rng_state
+            self._pending_chunks = self._epoch_chunks(items)
+            self.rng.bit_generator.state = current
+        else:
+            self._epoch_start_rng_state = self.rng.bit_generator.state
+            self._pending_chunks = self._epoch_chunks(items)
+        return self._pending_chunks
 
     def _epoch_chunks(self, items: List[Any]) -> List[Any]:
         """One epoch's batches as lists of item indices.
@@ -372,9 +421,18 @@ class Trainer:
         ``shuffle="bucket"`` additionally groups the permuted order by
         :meth:`TrainableTask.bucket_key` and shuffles the chunk order, so
         every item still occurs exactly once per epoch but like-shaped items
-        share a batch (minimal collate padding).
+        share a batch (minimal collate padding).  ``shuffle="shard"`` visits
+        :meth:`TrainableTask.shard_key` groups in a seeded random order and
+        buckets within each, so streaming datasets read shard-locally.
         """
         spec = self.spec
+        if spec.shuffle == "shard":
+            from repro.core.batching import shard_bucketed_chunk_indices
+
+            shard_ids = [self.task.shard_key(item) for item in items]
+            keys = [self.task.bucket_key(item) for item in items]
+            return shard_bucketed_chunk_indices(shard_ids, keys,
+                                                spec.batch_size, self.rng)
         order = self.rng.permutation(len(items))
         if spec.shuffle == "bucket":
             from repro.core.batching import bucketed_chunk_indices

@@ -77,6 +77,24 @@ class TrainableTask:
         which degrades bucketed shuffling to a plain seeded reordering."""
         return None
 
+    def shard_key(self, item: Any) -> int:
+        """Locality key for ``spec.shuffle="shard"``.
+
+        Items sharing a key live in the same on-disk payload shard; the
+        engine visits shards in a seeded random order and batches within
+        each, so streaming datasets touch one shard's pages at a time.  The
+        default (``0`` for every item) degrades shard shuffling to bucketed
+        shuffling over a single shard."""
+        return 0
+
+    def stream_fingerprint(self) -> Optional[str]:
+        """Content id of the backing dataset for streaming tasks.
+
+        Checkpoints persist it; resuming against a different corpus (whose
+        record indices would silently mean different tables) fails fast.
+        ``None`` means the task's items are self-contained (in-memory)."""
+        return None
+
     def eval_metric(self) -> Optional[float]:
         """Periodic evaluation hook (higher is better); ``None`` disables it.
 

@@ -124,7 +124,7 @@ def test_default_cases_cover_every_optimized_kernel():
     names = [case.name for case in default_cases()]
     assert names == ["visibility_construct", "visibility_cache",
                      "candidate_build", "attention_mask",
-                     "bucketed_batching", "pretrain_steps",
+                     "bucketed_batching", "corpus_stream", "pretrain_steps",
                      "serve_throughput", "serve_fleet"]
     for case in default_cases():
         assert case.reference is not None, case.name

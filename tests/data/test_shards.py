@@ -1,0 +1,254 @@
+"""Sharded corpus codec: byte-level determinism, integrity, zero-copy reads.
+
+The shard format's contract has three legs the tests pin down separately:
+
+1. **Worker invariance** — the written bytes are a pure function of
+   ``(kb, config, n_shards)``; the worker count may only change wall time.
+2. **Integrity** — truncated or corrupted files fail loudly with
+   :class:`ShardFormatError` / :class:`ShardIntegrityError`, never with a
+   silently wrong table.
+3. **Read-only zero-copy** — the index and payloads are immutable memmaps.
+"""
+
+import hashlib
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.shards import (
+    INDEX_FILE,
+    SPLIT_CODES,
+    STRATEGY_IDS,
+    ShardedDataset,
+    ShardFormatError,
+    ShardIntegrityError,
+    bucket_code,
+    shard_file,
+    write_sharded_corpus,
+)
+from repro.data.synthesis import SynthesisConfig
+from repro.kb.generator import WorldConfig, generate_world
+
+SYNTH = SynthesisConfig(seed=5, n_tables=80)
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def shard_kb():
+    return generate_world(WorldConfig(seed=9))
+
+
+@pytest.fixture(scope="module")
+def shard_dir(shard_kb, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("shards") / "corpus")
+    write_sharded_corpus(shard_kb, SYNTH, directory, n_shards=N_SHARDS)
+    return directory
+
+
+def _directory_digest(directory: str) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(os.listdir(directory)):
+        digest.update(name.encode("utf-8"))
+        with open(os.path.join(directory, name), "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def _copy(shard_dir: str, tmp_path) -> str:
+    clone = str(tmp_path / "clone")
+    shutil.copytree(shard_dir, clone)
+    return clone
+
+
+# -- determinism ---------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_worker_count_never_changes_the_bytes(shard_kb, shard_dir, tmp_path,
+                                              workers):
+    directory = str(tmp_path / f"w{workers}")
+    write_sharded_corpus(shard_kb, SYNTH, directory, n_shards=N_SHARDS,
+                         workers=workers)
+    assert _directory_digest(directory) == _directory_digest(shard_dir)
+
+
+def test_rewrite_is_bit_identical(shard_kb, shard_dir, tmp_path):
+    directory = str(tmp_path / "again")
+    write_sharded_corpus(shard_kb, SYNTH, directory, n_shards=N_SHARDS)
+    assert _directory_digest(directory) == _directory_digest(shard_dir)
+
+
+def test_shard_count_is_validated(shard_kb, tmp_path):
+    with pytest.raises(ValueError):
+        write_sharded_corpus(shard_kb, SYNTH, str(tmp_path / "x"), n_shards=0)
+    with pytest.raises(ValueError):
+        write_sharded_corpus(shard_kb, SYNTH, str(tmp_path / "y"),
+                             n_shards=0x10000)
+
+
+# -- round trip ----------------------------------------------------------------
+
+def test_every_record_round_trips_with_hash_verification(shard_dir):
+    dataset = ShardedDataset(shard_dir, verify_hashes=True)
+    assert len(dataset) > 0
+    for index in range(len(dataset)):
+        table = dataset.table(index)
+        assert table.n_rows >= 1
+        assert dataset.bucket_of(index) == bucket_code(table)
+        assert dataset.strategy_of(index) == table.strategy
+        assert dataset.shard_of(index) < N_SHARDS
+
+
+def test_split_indices_partition_the_corpus(shard_dir):
+    dataset = ShardedDataset(shard_dir)
+    pieces = [dataset.split_indices(name) for name in SPLIT_CODES]
+    merged = np.sort(np.concatenate(pieces))
+    np.testing.assert_array_equal(merged, np.arange(len(dataset)))
+    for name in SPLIT_CODES:
+        for table in dataset.instances(name):
+            assert table.n_rows >= 1
+    with pytest.raises(KeyError):
+        dataset.split_indices("dev")
+
+
+def test_strategy_slicing_matches_decoded_tags(shard_dir):
+    dataset = ShardedDataset(shard_dir)
+    counts = dataset.metadata.strategy_counts
+    assert sum(counts.values()) == len(dataset)
+    covered = 0
+    for strategy in STRATEGY_IDS:
+        indices = dataset.strategy_indices(strategy)
+        covered += len(indices)
+        for index in indices[:2]:
+            assert dataset.table(int(index)).strategy == strategy
+    assert covered == len(dataset) - counts.get("untagged", 0)
+    with pytest.raises(KeyError):
+        dataset.strategy_indices("no_such_recipe")
+
+
+def test_implements_dataset_protocol(shard_dir):
+    dataset = ShardedDataset(shard_dir)
+    assert isinstance(dataset, Dataset)
+    meta = dataset.metadata
+    assert meta.n_records == len(dataset)
+    assert meta.extra["n_shards"] == N_SHARDS
+    assert meta.extra["fingerprint"] == dataset.fingerprint()
+    assert sum(meta.split_sizes.values()) == len(dataset)
+
+
+def test_in_memory_escape_hatch_matches_streaming(shard_dir):
+    dataset = ShardedDataset(shard_dir)
+    splits = dataset.splits()
+    assert len(splits) == len(dataset)
+    streamed = [t.table_id for t in dataset.instances("train")]
+    materialized = [t.table_id for t in splits.train]
+    assert streamed == materialized
+
+
+# -- goldens -------------------------------------------------------------------
+
+def test_golden_fingerprint_is_stable(shard_dir):
+    """The corpus fingerprint is part of the checkpoint-resume contract.
+
+    If this golden moves, every previously saved mid-epoch checkpoint
+    stops resuming — bump the format version instead of silently
+    changing the bytes.
+    """
+    dataset = ShardedDataset(shard_dir)
+    assert dataset.fingerprint() == "1fa3c9500ee53275b649cadb04bd7edc"
+
+
+def test_golden_shard_epoch_order(shard_dir):
+    """Pin the ``shuffle="shard"`` epoch plan for a fixed seed.
+
+    The plan is built from index metadata alone (shard ids + bucket
+    codes) — no payload I/O — so this golden locks both the on-disk
+    index content and the planner's traversal order.
+    """
+    from repro.core.batching import shard_bucketed_chunk_indices
+
+    dataset = ShardedDataset(shard_dir)
+    train = dataset.split_indices("train")
+    shard_ids = [dataset.shard_of(int(i)) for i in train]
+    keys = [dataset.bucket_of(int(i)) for i in train]
+    chunks = shard_bucketed_chunk_indices(shard_ids, keys, 8,
+                                          np.random.default_rng(0))
+    order = np.asarray([int(i) for chunk in chunks for i in chunk],
+                       dtype=np.int64)
+    assert len(train) == 72
+    assert len(chunks) == 51
+    digest = hashlib.blake2b(order.tobytes(), digest_size=8).hexdigest()
+    assert digest == "07865ddeebaf6a13"
+
+
+# -- integrity -----------------------------------------------------------------
+
+def test_truncated_index_is_rejected(shard_dir, tmp_path):
+    clone = _copy(shard_dir, tmp_path)
+    path = os.path.join(clone, INDEX_FILE)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) - 7)
+    with pytest.raises(ShardFormatError, match="truncated"):
+        ShardedDataset(clone)
+
+
+def test_header_only_index_is_rejected(shard_dir, tmp_path):
+    clone = _copy(shard_dir, tmp_path)
+    with open(os.path.join(clone, INDEX_FILE), "r+b") as handle:
+        handle.truncate(10)
+    with pytest.raises(ShardFormatError, match="truncated"):
+        ShardedDataset(clone)
+
+
+def test_bad_magic_is_rejected(shard_dir, tmp_path):
+    clone = _copy(shard_dir, tmp_path)
+    with open(os.path.join(clone, INDEX_FILE), "r+b") as handle:
+        handle.write(b"NOTSHARD")
+    with pytest.raises(ShardFormatError, match="magic"):
+        ShardedDataset(clone)
+
+
+def test_missing_meta_is_rejected(tmp_path):
+    with pytest.raises(ShardFormatError, match="not a shard directory"):
+        ShardedDataset(str(tmp_path / "nowhere"))
+
+
+def test_corrupt_payload_fails_hash_verification(shard_dir, tmp_path):
+    clone = _copy(shard_dir, tmp_path)
+    dataset = ShardedDataset(clone)
+    record = dataset.index[0]
+    target = os.path.join(clone, shard_file(int(record["shard"])))
+    with open(target, "r+b") as handle:
+        handle.seek(int(record["offset"]))
+        original = handle.read(1)
+        handle.seek(int(record["offset"]))
+        handle.write(bytes([original[0] ^ 0xFF]))
+    fresh = ShardedDataset(clone, verify_hashes=True)
+    with pytest.raises(ShardIntegrityError, match="hash mismatch"):
+        fresh.table(0)
+    # verification is opt-out per call
+    with pytest.raises(ShardIntegrityError):
+        ShardedDataset(clone).table(0, verify=True)
+
+
+def test_record_past_shard_end_is_rejected(shard_dir, tmp_path):
+    clone = _copy(shard_dir, tmp_path)
+    dataset = ShardedDataset(clone)
+    last = int(np.argmax(dataset.index["offset"]
+                         + dataset.index["length"]))
+    target = os.path.join(clone, shard_file(dataset.shard_of(last)))
+    with open(target, "r+b") as handle:
+        handle.truncate(os.path.getsize(target) - 3)
+    fresh = ShardedDataset(clone)
+    with pytest.raises(ShardFormatError, match="past"):
+        fresh.table(last)
+
+
+def test_index_memmap_is_read_only(shard_dir):
+    dataset = ShardedDataset(shard_dir)
+    with pytest.raises(ValueError):
+        dataset.index["split"][0] = 2
+    with pytest.raises(ValueError):
+        dataset.payload(0)[0] = 0

@@ -215,6 +215,48 @@ def test_api001_allows_canonical_calls():
     assert result.ok
 
 
+# -- API002 -----------------------------------------------------------------
+
+def test_api002_flags_list_typed_corpus_params():
+    result = _lint("""
+        from typing import List, Sequence
+
+        def build(corpus: List[Table], extra: Sequence[Table]) -> None:
+            pass
+    """)
+    assert _rule_ids(result) == ["API002", "API002"]
+
+
+def test_api002_flags_lowercase_list_and_keyword_only():
+    result = _lint("""
+        def build(*, tables: list[Table] = ()) -> None:
+            pass
+    """)
+    assert _rule_ids(result) == ["API002"]
+
+
+def test_api002_allows_datasets_iterables_and_other_element_types():
+    result = _lint("""
+        from typing import Iterable, List
+
+        def build(corpus: Dataset, stream: Iterable[Table],
+                  losses: List[float]) -> List[Table]:
+            cache: List[Table] = []
+            return cache
+    """)
+    assert result.ok
+
+
+def test_api002_inactive_outside_repro():
+    result = _lint("""
+        from typing import List
+
+        def build(corpus: List[Table]) -> None:
+            pass
+    """, path="tools/example.py")
+    assert result.ok
+
+
 # -- EVL002 -----------------------------------------------------------------
 
 def test_evl002_flags_bare_eval_call():

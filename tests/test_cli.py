@@ -197,3 +197,40 @@ def test_pretrain_bucket_shuffle(capsys, tmp_path):
     assert main(["pretrain", "--seed", "3", "--tables", "40", "--epochs", "1",
                  "--out", checkpoint, "--shuffle", "bucket"]) == 0
     assert "throughput" in capsys.readouterr().out
+
+
+def test_synthesize_command(capsys, tmp_path):
+    corpus = str(tmp_path / "corpus")
+    assert main(["synthesize", "--seed", "3", "--tables", "40",
+                 "--shards", "2", "--workers", "2", "--out", corpus]) == 0
+    captured = capsys.readouterr().out
+    assert "across 2 shard(s)" in captured
+    assert "splits" in captured
+    assert "fingerprint" in captured
+
+    from repro.data.shards import ShardedDataset
+    dataset = ShardedDataset(corpus)
+    assert len(dataset) > 0
+    assert dataset.metadata.extra["n_shards"] == 2
+
+
+def test_pretrain_from_sharded_corpus(capsys, tmp_path):
+    corpus = str(tmp_path / "corpus")
+    checkpoint = str(tmp_path / "ckpt")
+    assert main(["synthesize", "--seed", "3", "--tables", "40",
+                 "--shards", "2", "--out", corpus]) == 0
+    assert main(["pretrain", "--corpus", corpus, "--epochs", "1",
+                 "--shuffle", "shard", "--out", checkpoint]) == 0
+    captured = capsys.readouterr().out
+    assert "throughput" in captured
+    assert main(["probe", "--checkpoint", checkpoint, "--seed", "3",
+                 "--tables", "20", "--max-tables", "5"]) == 0
+    assert "recovery accuracy" in capsys.readouterr().out
+
+
+def test_pretrain_rejects_a_broken_corpus(capsys, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["pretrain", "--corpus", str(empty), "--epochs", "1",
+                 "--out", str(tmp_path / "ckpt")]) == 1
+    assert "not a shard directory" in capsys.readouterr().out

@@ -118,6 +118,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--tables", type=int, default=40)
+    parser.add_argument("--corpus", default=None, metavar="DIR",
+                        help="draw served tables from a `repro.cli "
+                             "synthesize` sharded corpus instead of "
+                             "synthesizing in-process (--tables is then "
+                             "ignored; --seed/--scale still shape the KB)")
     parser.add_argument("--n-examples", type=int, default=4,
                         help="distinct payloads per task (tail length)")
     parser.add_argument("--zipf-s", type=float, default=1.2,
@@ -130,9 +135,14 @@ def main(argv=None) -> int:
     model, tokenizer, entity_vocab = load_checkpoint(args.checkpoint,
                                                      mmap="auto")
     kb = generate_world(WorldConfig(seed=args.seed).scaled(args.scale))
-    corpus = filter_relational(build_corpus(
-        kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
-    splits = partition_corpus(corpus, seed=args.seed)
+    if args.corpus:
+        from repro.data.shards import ShardedDataset
+
+        splits = ShardedDataset(args.corpus).splits()
+    else:
+        corpus = filter_relational(build_corpus(
+            kb, SynthesisConfig(seed=args.seed + 1, n_tables=args.tables)))
+        splits = partition_corpus(corpus, seed=args.seed)
     linearizer = Linearizer(tokenizer, entity_vocab, model.config)
     fleet, bundle = build_serving_fleet(model, linearizer, kb, splits,
                                         workers=args.workers,
